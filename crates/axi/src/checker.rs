@@ -1,0 +1,1023 @@
+//! Synthesizable-style AXI4 protocol rule checker.
+//!
+//! [`ProtocolChecker`] observes the settled wires of an [`AxiPort`] once
+//! per cycle and reports [`Violation`]s of the AXI4 ordering, stability
+//! and burst-legality rules. It is the behavioural equivalent of the
+//! rule-based checkers the paper cites (AXIChecker et al.) and is embedded
+//! in the TMU's Write/Read Guard modules to provide the "Prot Check"
+//! capability of Table II.
+//!
+//! The checker is purely an observer: it never drives wires and keeps its
+//! own shadow bookkeeping of outstanding transactions.
+//!
+//! # Example
+//!
+//! ```
+//! use axi4::prelude::*;
+//!
+//! let mut chk = ProtocolChecker::new();
+//! let mut port = AxiPort::new();
+//!
+//! // A W beat with WLAST on the first beat of a 2-beat burst.
+//! port.begin_cycle();
+//! port.aw.drive(AwBeat::new(AxiId(0), Addr(0), BurstLen::from_beats(2).unwrap(),
+//!                           BurstSize::from_bytes(8).unwrap(), BurstKind::Incr));
+//! port.aw.set_ready(true);
+//! let v = chk.observe(&port, 0);
+//! assert!(v.is_empty());
+//!
+//! port.begin_cycle();
+//! port.w.drive(WBeat::new(1, true)); // premature WLAST
+//! port.w.set_ready(true);
+//! let v = chk.observe(&port, 1);
+//! assert_eq!(v[0].rule, Rule::WlastEarly);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
+use crate::burst::crosses_4k_boundary;
+use crate::channel::{AxiPort, Channel};
+use crate::types::{AxiId, BurstKind};
+
+/// Identifiers for every protocol rule the checker enforces.
+///
+/// Naming follows the channel the rule fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rule {
+    /// AW payload changed or valid dropped while waiting for ready.
+    AwStable,
+    /// W payload changed or valid dropped while waiting for ready.
+    WStable,
+    /// B payload changed or valid dropped while waiting for ready.
+    BStable,
+    /// AR payload changed or valid dropped while waiting for ready.
+    ArStable,
+    /// R payload changed or valid dropped while waiting for ready.
+    RStable,
+    /// Write burst crosses a 4 KiB boundary.
+    AwCross4k,
+    /// Read burst crosses a 4 KiB boundary.
+    ArCross4k,
+    /// Write burst uses the reserved `0b11` burst encoding.
+    AwBurstReserved,
+    /// Read burst uses the reserved `0b11` burst encoding.
+    ArBurstReserved,
+    /// Write WRAP burst with illegal length (not 2/4/8/16 beats).
+    AwWrapLen,
+    /// Read WRAP burst with illegal length (not 2/4/8/16 beats).
+    ArWrapLen,
+    /// Write WRAP burst with a start address unaligned to the beat size.
+    AwWrapUnaligned,
+    /// Read WRAP burst with a start address unaligned to the beat size.
+    ArWrapUnaligned,
+    /// `WLAST` asserted before the final beat of the burst.
+    WlastEarly,
+    /// Final beat of the burst transferred without `WLAST`.
+    WlastMissing,
+    /// W beat transferred with no outstanding write address to attach to.
+    WWithoutAw,
+    /// W beat with all strobe bits low on a beat the burst requires.
+    WStrbAllZero,
+    /// B response for an ID with no outstanding write at all.
+    BWithoutTxn,
+    /// B response issued before the write's final data beat.
+    BBeforeWlast,
+    /// R beat for an ID with no outstanding read.
+    RWithoutTxn,
+    /// `RLAST` asserted before the final beat of the read burst.
+    RlastEarly,
+    /// Final read beat transferred without `RLAST`.
+    RlastMissing,
+    /// The reserved burst encoding also flagged on a per-beat basis.
+    BurstReserved,
+    /// FIXED write burst longer than the 16-beat AXI4 maximum.
+    AwFixedLen,
+    /// FIXED read burst longer than the 16-beat AXI4 maximum.
+    ArFixedLen,
+    /// Write beat size exceeds the configured data-bus width.
+    AwSizeTooWide,
+    /// Read beat size exceeds the configured data-bus width.
+    ArSizeTooWide,
+}
+
+impl Rule {
+    /// A short, stable mnemonic for logs and tables (e.g. `AW_STABLE`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Rule::AwStable => "AW_STABLE",
+            Rule::WStable => "W_STABLE",
+            Rule::BStable => "B_STABLE",
+            Rule::ArStable => "AR_STABLE",
+            Rule::RStable => "R_STABLE",
+            Rule::AwCross4k => "AW_4K",
+            Rule::ArCross4k => "AR_4K",
+            Rule::AwBurstReserved => "AW_BURST_RSVD",
+            Rule::ArBurstReserved => "AR_BURST_RSVD",
+            Rule::AwWrapLen => "AW_WRAP_LEN",
+            Rule::ArWrapLen => "AR_WRAP_LEN",
+            Rule::AwWrapUnaligned => "AW_WRAP_ALIGN",
+            Rule::ArWrapUnaligned => "AR_WRAP_ALIGN",
+            Rule::WlastEarly => "WLAST_EARLY",
+            Rule::WlastMissing => "WLAST_MISSING",
+            Rule::WWithoutAw => "W_NO_AW",
+            Rule::WStrbAllZero => "W_STRB_ZERO",
+            Rule::BWithoutTxn => "B_NO_TXN",
+            Rule::BBeforeWlast => "B_BEFORE_WLAST",
+            Rule::RWithoutTxn => "R_NO_TXN",
+            Rule::RlastEarly => "RLAST_EARLY",
+            Rule::RlastMissing => "RLAST_MISSING",
+            Rule::BurstReserved => "BURST_RSVD",
+            Rule::AwFixedLen => "AW_FIXED_LEN",
+            Rule::ArFixedLen => "AR_FIXED_LEN",
+            Rule::AwSizeTooWide => "AW_SIZE_WIDE",
+            Rule::ArSizeTooWide => "AR_SIZE_WIDE",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One detected protocol violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Cycle at which the violation was observed.
+    pub cycle: u64,
+    /// Transaction ID involved, when one is attributable.
+    pub id: Option<AxiId>,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}: {} — {}", self.cycle, self.rule, self.detail)?;
+        if let Some(id) = self.id {
+            write!(f, " ({id})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Snapshot of one channel's driver wires from the previous cycle, for
+/// stability checking.
+#[derive(Debug, Clone)]
+struct Held<T> {
+    payload: T,
+}
+
+/// Shadow bookkeeping for one in-flight write burst.
+#[derive(Debug, Clone)]
+struct WriteCtx {
+    aw: AwBeat,
+    beats_done: u16,
+}
+
+/// Shadow bookkeeping for one in-flight read burst.
+#[derive(Debug, Clone)]
+struct ReadCtx {
+    ar: ArBeat,
+    beats_done: u16,
+}
+
+/// Aggregate counters the checker maintains alongside violations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckerStats {
+    /// Write transactions whose AW beat was observed.
+    pub writes_started: u64,
+    /// Write transactions whose B beat was observed.
+    pub writes_completed: u64,
+    /// Read transactions whose AR beat was observed.
+    pub reads_started: u64,
+    /// Read transactions whose final R beat was observed.
+    pub reads_completed: u64,
+    /// Data beats observed on W.
+    pub w_beats: u64,
+    /// Data beats observed on R.
+    pub r_beats: u64,
+    /// Total violations reported.
+    pub violations: u64,
+}
+
+/// Configuration knobs for the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckerConfig {
+    /// AXI4 permits write data to be issued before its address. The TMU's
+    /// EI table assumes address-first ordering (the common interconnect
+    /// behaviour), so by default early data is reported as
+    /// [`Rule::WWithoutAw`]. Set `true` to silently buffer early beats.
+    pub allow_early_w: bool,
+    /// Maximum early W beats buffered when `allow_early_w` is set.
+    pub early_w_depth: usize,
+    /// Data-bus width in bytes: an `AxSIZE` wider than this is flagged
+    /// ([`Rule::AwSizeTooWide`] / [`Rule::ArSizeTooWide`]).
+    pub bus_bytes: u32,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            allow_early_w: false,
+            early_w_depth: 16,
+            bus_bytes: 8,
+        }
+    }
+}
+
+/// The protocol checker. See the [module documentation](self) for an
+/// overview and example.
+#[derive(Debug, Clone)]
+pub struct ProtocolChecker {
+    cfg: CheckerConfig,
+    // Stability shadows: Some(payload) iff last cycle had valid && !ready.
+    held_aw: Option<Held<AwBeat>>,
+    held_w: Option<Held<WBeat>>,
+    held_b: Option<Held<BBeat>>,
+    held_ar: Option<Held<ArBeat>>,
+    held_r: Option<Held<RBeat>>,
+    // Write bursts in AW order whose data is still arriving.
+    w_inflight: VecDeque<WriteCtx>,
+    // Early W beats observed before any AW (only if allowed).
+    early_w: VecDeque<WBeat>,
+    // Writes with all data received, awaiting B, per ID in order.
+    awaiting_b: HashMap<AxiId, VecDeque<AwBeat>>,
+    // Reads in flight per ID in order.
+    r_inflight: HashMap<AxiId, VecDeque<ReadCtx>>,
+    stats: CheckerStats,
+}
+
+impl Default for ProtocolChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProtocolChecker {
+    /// Creates a checker with the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(CheckerConfig::default())
+    }
+
+    /// Creates a checker with an explicit configuration.
+    #[must_use]
+    pub fn with_config(cfg: CheckerConfig) -> Self {
+        ProtocolChecker {
+            cfg,
+            held_aw: None,
+            held_w: None,
+            held_b: None,
+            held_ar: None,
+            held_r: None,
+            w_inflight: VecDeque::new(),
+            early_w: VecDeque::new(),
+            awaiting_b: HashMap::new(),
+            r_inflight: HashMap::new(),
+            stats: CheckerStats::default(),
+        }
+    }
+
+    /// Aggregate counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CheckerStats {
+        self.stats
+    }
+
+    /// Number of writes currently tracked (data phase + awaiting B).
+    #[must_use]
+    pub fn outstanding_writes(&self) -> usize {
+        self.w_inflight.len() + self.awaiting_b.values().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Number of reads currently tracked.
+    #[must_use]
+    pub fn outstanding_reads(&self) -> usize {
+        self.r_inflight.values().map(VecDeque::len).sum()
+    }
+
+    /// Discards all shadow transaction state (used after the TMU aborts a
+    /// subordinate and resets it). Stability shadows are also cleared.
+    pub fn flush(&mut self) {
+        self.held_aw = None;
+        self.held_w = None;
+        self.held_b = None;
+        self.held_ar = None;
+        self.held_r = None;
+        self.w_inflight.clear();
+        self.early_w.clear();
+        self.awaiting_b.clear();
+        self.r_inflight.clear();
+    }
+
+    /// Observes the settled wires of `port` for the current `cycle` and
+    /// returns any violations detected this cycle.
+    ///
+    /// Must be called exactly once per simulated cycle, after all drive
+    /// passes and before the clock commit.
+    pub fn observe(&mut self, port: &AxiPort, cycle: u64) -> Vec<Violation> {
+        let mut out = Vec::new();
+        self.check_stability(port, cycle, &mut out);
+        self.check_aw(&port.aw, cycle, &mut out);
+        self.check_w(&port.w, cycle, &mut out);
+        self.check_b(&port.b, cycle, &mut out);
+        self.check_ar(&port.ar, cycle, &mut out);
+        self.check_r(&port.r, cycle, &mut out);
+        self.capture_stability(port);
+        self.stats.violations += out.len() as u64;
+        out
+    }
+
+    fn check_stability(&mut self, port: &AxiPort, cycle: u64, out: &mut Vec<Violation>) {
+        fn check<T: Clone + PartialEq + fmt::Debug>(
+            held: &Option<Held<T>>,
+            ch: &Channel<T>,
+            rule: Rule,
+            cycle: u64,
+            out: &mut Vec<Violation>,
+        ) {
+            if let Some(h) = held {
+                match ch.beat() {
+                    None => out.push(Violation {
+                        rule,
+                        cycle,
+                        id: None,
+                        detail: "valid deasserted before ready".to_string(),
+                    }),
+                    Some(p) if *p != h.payload => out.push(Violation {
+                        rule,
+                        cycle,
+                        id: None,
+                        detail: format!(
+                            "payload changed while waiting for ready: {:?} -> {:?}",
+                            h.payload, p
+                        ),
+                    }),
+                    Some(_) => {}
+                }
+            }
+        }
+        check(&self.held_aw, &port.aw, Rule::AwStable, cycle, out);
+        check(&self.held_w, &port.w, Rule::WStable, cycle, out);
+        check(&self.held_b, &port.b, Rule::BStable, cycle, out);
+        check(&self.held_ar, &port.ar, Rule::ArStable, cycle, out);
+        check(&self.held_r, &port.r, Rule::RStable, cycle, out);
+    }
+
+    fn capture_stability(&mut self, port: &AxiPort) {
+        fn capture<T: Clone>(ch: &Channel<T>) -> Option<Held<T>> {
+            if ch.valid() && !ch.ready() {
+                ch.beat().map(|p| Held { payload: p.clone() })
+            } else {
+                None
+            }
+        }
+        self.held_aw = capture(&port.aw);
+        self.held_w = capture(&port.w);
+        self.held_b = capture(&port.b);
+        self.held_ar = capture(&port.ar);
+        self.held_r = capture(&port.r);
+    }
+
+    fn check_aw(&mut self, ch: &Channel<AwBeat>, cycle: u64, out: &mut Vec<Violation>) {
+        let Some(aw) = ch.fired_beat().copied() else {
+            return;
+        };
+        self.stats.writes_started += 1;
+        if aw.burst == BurstKind::Reserved {
+            out.push(Violation {
+                rule: Rule::AwBurstReserved,
+                cycle,
+                id: Some(aw.id),
+                detail: format!("reserved burst encoding on {aw}"),
+            });
+        }
+        if crosses_4k_boundary(aw.addr, aw.size, aw.len, aw.burst) {
+            out.push(Violation {
+                rule: Rule::AwCross4k,
+                cycle,
+                id: Some(aw.id),
+                detail: format!("{aw} crosses 4 KiB boundary"),
+            });
+        }
+        if aw.burst == BurstKind::Fixed && aw.len.beats() > 16 {
+            out.push(Violation {
+                rule: Rule::AwFixedLen,
+                cycle,
+                id: Some(aw.id),
+                detail: format!("FIXED burst of {}", aw.len),
+            });
+        }
+        if aw.size.bytes() > self.cfg.bus_bytes {
+            out.push(Violation {
+                rule: Rule::AwSizeTooWide,
+                cycle,
+                id: Some(aw.id),
+                detail: format!("{} exceeds the {}-byte bus", aw.size, self.cfg.bus_bytes),
+            });
+        }
+        if aw.burst == BurstKind::Wrap {
+            if !aw.len.is_legal_wrap() {
+                out.push(Violation {
+                    rule: Rule::AwWrapLen,
+                    cycle,
+                    id: Some(aw.id),
+                    detail: format!("wrap burst of {}", aw.len),
+                });
+            }
+            if !aw.addr.is_aligned(u64::from(aw.size.bytes())) {
+                out.push(Violation {
+                    rule: Rule::AwWrapUnaligned,
+                    cycle,
+                    id: Some(aw.id),
+                    detail: format!("wrap burst start {} unaligned to {}", aw.addr, aw.size),
+                });
+            }
+        }
+        self.w_inflight.push_back(WriteCtx { aw, beats_done: 0 });
+        // Attach any buffered early data beats.
+        while !self.early_w.is_empty() && !self.w_inflight.is_empty() {
+            let w = self.early_w.pop_front().expect("nonempty");
+            self.consume_w_beat(w, cycle, out);
+        }
+    }
+
+    fn check_w(&mut self, ch: &Channel<WBeat>, cycle: u64, out: &mut Vec<Violation>) {
+        let Some(w) = ch.fired_beat().copied() else {
+            return;
+        };
+        self.stats.w_beats += 1;
+        if w.strb == 0 {
+            out.push(Violation {
+                rule: Rule::WStrbAllZero,
+                cycle,
+                id: None,
+                detail: "write data beat with all strobes low".to_string(),
+            });
+        }
+        if self.w_inflight.is_empty() {
+            if self.cfg.allow_early_w && self.early_w.len() < self.cfg.early_w_depth {
+                self.early_w.push_back(w);
+            } else {
+                out.push(Violation {
+                    rule: Rule::WWithoutAw,
+                    cycle,
+                    id: None,
+                    detail: "write data with no outstanding write address".to_string(),
+                });
+            }
+            return;
+        }
+        self.consume_w_beat(w, cycle, out);
+    }
+
+    fn consume_w_beat(&mut self, w: WBeat, cycle: u64, out: &mut Vec<Violation>) {
+        let Some(ctx) = self.w_inflight.front_mut() else {
+            return;
+        };
+        ctx.beats_done += 1;
+        let expected = ctx.aw.len.beats();
+        let is_final = ctx.beats_done == expected;
+        let id = ctx.aw.id;
+        if w.last && !is_final {
+            out.push(Violation {
+                rule: Rule::WlastEarly,
+                cycle,
+                id: Some(id),
+                detail: format!("WLAST on beat {}/{}", ctx.beats_done, expected),
+            });
+            // Resynchronize on WLAST: hardware checkers treat WLAST as the
+            // end of the burst regardless.
+            let done = self.w_inflight.pop_front().expect("front exists");
+            self.awaiting_b.entry(id).or_default().push_back(done.aw);
+            return;
+        }
+        if is_final && !w.last {
+            out.push(Violation {
+                rule: Rule::WlastMissing,
+                cycle,
+                id: Some(id),
+                detail: format!("final beat {}/{} without WLAST", ctx.beats_done, expected),
+            });
+        }
+        if is_final {
+            let done = self.w_inflight.pop_front().expect("front exists");
+            self.awaiting_b
+                .entry(done.aw.id)
+                .or_default()
+                .push_back(done.aw);
+        }
+    }
+
+    fn check_b(&mut self, ch: &Channel<BBeat>, cycle: u64, out: &mut Vec<Violation>) {
+        let Some(b) = ch.fired_beat().copied() else {
+            return;
+        };
+        if let Some(queue) = self.awaiting_b.get_mut(&b.id) {
+            if queue.pop_front().is_some() {
+                if queue.is_empty() {
+                    self.awaiting_b.remove(&b.id);
+                }
+                self.stats.writes_completed += 1;
+                return;
+            }
+        }
+        // No completed write for this ID: either it's still in data phase
+        // (B before WLAST) or entirely unknown.
+        let in_data_phase = self.w_inflight.iter().any(|c| c.aw.id == b.id);
+        let rule = if in_data_phase {
+            Rule::BBeforeWlast
+        } else {
+            Rule::BWithoutTxn
+        };
+        out.push(Violation {
+            rule,
+            cycle,
+            id: Some(b.id),
+            detail: format!("unexpected write response {b}"),
+        });
+    }
+
+    fn check_ar(&mut self, ch: &Channel<ArBeat>, cycle: u64, out: &mut Vec<Violation>) {
+        let Some(ar) = ch.fired_beat().copied() else {
+            return;
+        };
+        self.stats.reads_started += 1;
+        if ar.burst == BurstKind::Reserved {
+            out.push(Violation {
+                rule: Rule::ArBurstReserved,
+                cycle,
+                id: Some(ar.id),
+                detail: format!("reserved burst encoding on {ar}"),
+            });
+        }
+        if crosses_4k_boundary(ar.addr, ar.size, ar.len, ar.burst) {
+            out.push(Violation {
+                rule: Rule::ArCross4k,
+                cycle,
+                id: Some(ar.id),
+                detail: format!("{ar} crosses 4 KiB boundary"),
+            });
+        }
+        if ar.burst == BurstKind::Fixed && ar.len.beats() > 16 {
+            out.push(Violation {
+                rule: Rule::ArFixedLen,
+                cycle,
+                id: Some(ar.id),
+                detail: format!("FIXED burst of {}", ar.len),
+            });
+        }
+        if ar.size.bytes() > self.cfg.bus_bytes {
+            out.push(Violation {
+                rule: Rule::ArSizeTooWide,
+                cycle,
+                id: Some(ar.id),
+                detail: format!("{} exceeds the {}-byte bus", ar.size, self.cfg.bus_bytes),
+            });
+        }
+        if ar.burst == BurstKind::Wrap {
+            if !ar.len.is_legal_wrap() {
+                out.push(Violation {
+                    rule: Rule::ArWrapLen,
+                    cycle,
+                    id: Some(ar.id),
+                    detail: format!("wrap burst of {}", ar.len),
+                });
+            }
+            if !ar.addr.is_aligned(u64::from(ar.size.bytes())) {
+                out.push(Violation {
+                    rule: Rule::ArWrapUnaligned,
+                    cycle,
+                    id: Some(ar.id),
+                    detail: format!("wrap burst start {} unaligned to {}", ar.addr, ar.size),
+                });
+            }
+        }
+        self.r_inflight
+            .entry(ar.id)
+            .or_default()
+            .push_back(ReadCtx { ar, beats_done: 0 });
+    }
+
+    fn check_r(&mut self, ch: &Channel<RBeat>, cycle: u64, out: &mut Vec<Violation>) {
+        let Some(r) = ch.fired_beat().copied() else {
+            return;
+        };
+        self.stats.r_beats += 1;
+        let Some(queue) = self.r_inflight.get_mut(&r.id) else {
+            out.push(Violation {
+                rule: Rule::RWithoutTxn,
+                cycle,
+                id: Some(r.id),
+                detail: format!("read data {r} with no outstanding read"),
+            });
+            return;
+        };
+        let Some(ctx) = queue.front_mut() else {
+            out.push(Violation {
+                rule: Rule::RWithoutTxn,
+                cycle,
+                id: Some(r.id),
+                detail: format!("read data {r} with no outstanding read"),
+            });
+            return;
+        };
+        ctx.beats_done += 1;
+        let expected = ctx.ar.len.beats();
+        let is_final = ctx.beats_done == expected;
+        if r.last && !is_final {
+            out.push(Violation {
+                rule: Rule::RlastEarly,
+                cycle,
+                id: Some(r.id),
+                detail: format!("RLAST on beat {}/{}", ctx.beats_done, expected),
+            });
+        }
+        if is_final && !r.last {
+            out.push(Violation {
+                rule: Rule::RlastMissing,
+                cycle,
+                id: Some(r.id),
+                detail: format!("final beat {}/{} without RLAST", ctx.beats_done, expected),
+            });
+        }
+        // RLAST terminates the burst from the checker's perspective even
+        // when early; reaching the expected count does likewise.
+        if r.last || is_final {
+            queue.pop_front();
+            if queue.is_empty() {
+                self.r_inflight.remove(&r.id);
+            }
+            self.stats.reads_completed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Addr, BurstLen, BurstSize, Resp};
+
+    fn aw(id: u16, beats: u16) -> AwBeat {
+        AwBeat::new(
+            AxiId(id),
+            Addr(0x1000),
+            BurstLen::from_beats(beats).unwrap(),
+            BurstSize::from_bytes(8).unwrap(),
+            BurstKind::Incr,
+        )
+    }
+
+    fn ar(id: u16, beats: u16) -> ArBeat {
+        ArBeat::new(
+            AxiId(id),
+            Addr(0x2000),
+            BurstLen::from_beats(beats).unwrap(),
+            BurstSize::from_bytes(8).unwrap(),
+            BurstKind::Incr,
+        )
+    }
+
+    /// Drives one cycle where the given closure sets up the port, all
+    /// driven channels are made ready, and the checker observes.
+    fn cycle(chk: &mut ProtocolChecker, n: u64, f: impl FnOnce(&mut AxiPort)) -> Vec<Violation> {
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        f(&mut port);
+        chk.observe(&port, n)
+    }
+
+    fn fire_aw(port: &mut AxiPort, beat: AwBeat) {
+        port.aw.drive(beat);
+        port.aw.set_ready(true);
+    }
+
+    fn fire_w(port: &mut AxiPort, beat: WBeat) {
+        port.w.drive(beat);
+        port.w.set_ready(true);
+    }
+
+    fn fire_b(port: &mut AxiPort, beat: BBeat) {
+        port.b.drive(beat);
+        port.b.set_ready(true);
+    }
+
+    fn fire_ar(port: &mut AxiPort, beat: ArBeat) {
+        port.ar.drive(beat);
+        port.ar.set_ready(true);
+    }
+
+    fn fire_r(port: &mut AxiPort, beat: RBeat) {
+        port.r.drive(beat);
+        port.r.set_ready(true);
+    }
+
+    #[test]
+    fn clean_write_produces_no_violations() {
+        let mut chk = ProtocolChecker::new();
+        assert!(cycle(&mut chk, 0, |p| fire_aw(p, aw(1, 2))).is_empty());
+        assert!(cycle(&mut chk, 1, |p| fire_w(p, WBeat::new(0, false))).is_empty());
+        assert!(cycle(&mut chk, 2, |p| fire_w(p, WBeat::new(1, true))).is_empty());
+        assert!(cycle(&mut chk, 3, |p| fire_b(p, BBeat::new(AxiId(1), Resp::Okay))).is_empty());
+        let s = chk.stats();
+        assert_eq!(s.writes_started, 1);
+        assert_eq!(s.writes_completed, 1);
+        assert_eq!(s.w_beats, 2);
+        assert_eq!(s.violations, 0);
+        assert_eq!(chk.outstanding_writes(), 0);
+    }
+
+    #[test]
+    fn clean_read_produces_no_violations() {
+        let mut chk = ProtocolChecker::new();
+        assert!(cycle(&mut chk, 0, |p| fire_ar(p, ar(3, 2))).is_empty());
+        assert!(cycle(&mut chk, 1, |p| fire_r(
+            p,
+            RBeat::new(AxiId(3), 0, Resp::Okay, false)
+        ))
+        .is_empty());
+        assert!(cycle(&mut chk, 2, |p| fire_r(
+            p,
+            RBeat::new(AxiId(3), 0, Resp::Okay, true)
+        ))
+        .is_empty());
+        let s = chk.stats();
+        assert_eq!(s.reads_started, 1);
+        assert_eq!(s.reads_completed, 1);
+        assert_eq!(chk.outstanding_reads(), 0);
+    }
+
+    #[test]
+    fn early_wlast_flagged_and_resynced() {
+        let mut chk = ProtocolChecker::new();
+        cycle(&mut chk, 0, |p| fire_aw(p, aw(1, 4)));
+        let v = cycle(&mut chk, 1, |p| fire_w(p, WBeat::new(0, true)));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::WlastEarly);
+        // After resync a B for the ID is accepted.
+        let v = cycle(&mut chk, 2, |p| fire_b(p, BBeat::new(AxiId(1), Resp::Okay)));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn missing_wlast_flagged() {
+        let mut chk = ProtocolChecker::new();
+        cycle(&mut chk, 0, |p| fire_aw(p, aw(1, 1)));
+        let v = cycle(&mut chk, 1, |p| fire_w(p, WBeat::new(0, false)));
+        assert_eq!(v[0].rule, Rule::WlastMissing);
+    }
+
+    #[test]
+    fn w_without_aw_flagged() {
+        let mut chk = ProtocolChecker::new();
+        let v = cycle(&mut chk, 0, |p| fire_w(p, WBeat::new(0, true)));
+        assert_eq!(v[0].rule, Rule::WWithoutAw);
+    }
+
+    #[test]
+    fn early_w_buffered_when_allowed() {
+        let mut chk = ProtocolChecker::with_config(CheckerConfig {
+            allow_early_w: true,
+            early_w_depth: 4,
+            ..CheckerConfig::default()
+        });
+        assert!(cycle(&mut chk, 0, |p| fire_w(p, WBeat::new(7, true))).is_empty());
+        // AW arrives afterwards; the buffered beat completes the burst.
+        assert!(cycle(&mut chk, 1, |p| fire_aw(p, aw(2, 1))).is_empty());
+        assert!(cycle(&mut chk, 2, |p| fire_b(p, BBeat::new(AxiId(2), Resp::Okay))).is_empty());
+    }
+
+    #[test]
+    fn b_without_txn_flagged() {
+        let mut chk = ProtocolChecker::new();
+        let v = cycle(&mut chk, 0, |p| fire_b(p, BBeat::new(AxiId(9), Resp::Okay)));
+        assert_eq!(v[0].rule, Rule::BWithoutTxn);
+        assert_eq!(v[0].id, Some(AxiId(9)));
+    }
+
+    #[test]
+    fn b_before_wlast_flagged() {
+        let mut chk = ProtocolChecker::new();
+        cycle(&mut chk, 0, |p| fire_aw(p, aw(4, 4)));
+        cycle(&mut chk, 1, |p| fire_w(p, WBeat::new(0, false)));
+        let v = cycle(&mut chk, 2, |p| fire_b(p, BBeat::new(AxiId(4), Resp::Okay)));
+        assert_eq!(v[0].rule, Rule::BBeforeWlast);
+    }
+
+    #[test]
+    fn r_without_txn_flagged() {
+        let mut chk = ProtocolChecker::new();
+        let v = cycle(&mut chk, 0, |p| {
+            fire_r(p, RBeat::new(AxiId(5), 0, Resp::Okay, true))
+        });
+        assert_eq!(v[0].rule, Rule::RWithoutTxn);
+    }
+
+    #[test]
+    fn rlast_early_and_missing_flagged() {
+        let mut chk = ProtocolChecker::new();
+        cycle(&mut chk, 0, |p| fire_ar(p, ar(1, 3)));
+        let v = cycle(&mut chk, 1, |p| {
+            fire_r(p, RBeat::new(AxiId(1), 0, Resp::Okay, true))
+        });
+        assert_eq!(v[0].rule, Rule::RlastEarly);
+
+        let mut chk = ProtocolChecker::new();
+        cycle(&mut chk, 0, |p| fire_ar(p, ar(1, 1)));
+        let v = cycle(&mut chk, 1, |p| {
+            fire_r(p, RBeat::new(AxiId(1), 0, Resp::Okay, false))
+        });
+        assert_eq!(v[0].rule, Rule::RlastMissing);
+    }
+
+    #[test]
+    fn reserved_burst_flagged_on_both_address_channels() {
+        let mut chk = ProtocolChecker::new();
+        let mut beat = aw(1, 1);
+        beat.burst = BurstKind::Reserved;
+        let v = cycle(&mut chk, 0, |p| fire_aw(p, beat));
+        assert!(v.iter().any(|v| v.rule == Rule::AwBurstReserved));
+
+        let mut beat = ar(1, 1);
+        beat.burst = BurstKind::Reserved;
+        let v = cycle(&mut chk, 1, |p| fire_ar(p, beat));
+        assert!(v.iter().any(|v| v.rule == Rule::ArBurstReserved));
+    }
+
+    #[test]
+    fn fixed_burst_over_16_beats_flagged() {
+        let mut chk = ProtocolChecker::new();
+        let mut beat = aw(1, 17);
+        beat.burst = BurstKind::Fixed;
+        let v = cycle(&mut chk, 0, |p| fire_aw(p, beat));
+        assert!(v.iter().any(|v| v.rule == Rule::AwFixedLen));
+        // 16 beats is legal.
+        let mut chk = ProtocolChecker::new();
+        let mut beat = aw(1, 16);
+        beat.burst = BurstKind::Fixed;
+        assert!(cycle(&mut chk, 0, |p| fire_aw(p, beat)).is_empty());
+        // Read side.
+        let mut chk = ProtocolChecker::new();
+        let mut beat = ar(1, 17);
+        beat.burst = BurstKind::Fixed;
+        let v = cycle(&mut chk, 0, |p| fire_ar(p, beat));
+        assert!(v.iter().any(|v| v.rule == Rule::ArFixedLen));
+    }
+
+    #[test]
+    fn oversized_beat_flagged_against_bus_width() {
+        let mut chk = ProtocolChecker::new(); // 8-byte bus by default
+        let mut beat = aw(1, 1);
+        beat.size = BurstSize::from_bytes(16).unwrap();
+        let v = cycle(&mut chk, 0, |p| fire_aw(p, beat));
+        assert!(v.iter().any(|v| v.rule == Rule::AwSizeTooWide));
+        let mut beat = ar(1, 1);
+        beat.size = BurstSize::from_bytes(32).unwrap();
+        let v = cycle(&mut chk, 1, |p| fire_ar(p, beat));
+        assert!(v.iter().any(|v| v.rule == Rule::ArSizeTooWide));
+        // A wider configured bus accepts it.
+        let mut chk = ProtocolChecker::with_config(CheckerConfig {
+            bus_bytes: 32,
+            ..CheckerConfig::default()
+        });
+        let mut beat = aw(1, 1);
+        beat.size = BurstSize::from_bytes(16).unwrap();
+        assert!(cycle(&mut chk, 0, |p| fire_aw(p, beat)).is_empty());
+    }
+
+    #[test]
+    fn cross_4k_flagged() {
+        let mut chk = ProtocolChecker::new();
+        let mut beat = aw(1, 4);
+        beat.addr = Addr(0xFF8);
+        let v = cycle(&mut chk, 0, |p| fire_aw(p, beat));
+        assert!(v.iter().any(|v| v.rule == Rule::AwCross4k));
+    }
+
+    #[test]
+    fn wrap_rules_flagged() {
+        let mut chk = ProtocolChecker::new();
+        let mut beat = aw(1, 3);
+        beat.burst = BurstKind::Wrap;
+        beat.addr = Addr(0x3); // also unaligned
+        let v = cycle(&mut chk, 0, |p| fire_aw(p, beat));
+        assert!(v.iter().any(|v| v.rule == Rule::AwWrapLen));
+        assert!(v.iter().any(|v| v.rule == Rule::AwWrapUnaligned));
+    }
+
+    #[test]
+    fn strobe_all_zero_flagged() {
+        let mut chk = ProtocolChecker::new();
+        cycle(&mut chk, 0, |p| fire_aw(p, aw(1, 1)));
+        let v = cycle(&mut chk, 1, |p| {
+            fire_w(p, WBeat::with_strobes(0, 0x00, true))
+        });
+        assert!(v.iter().any(|v| v.rule == Rule::WStrbAllZero));
+    }
+
+    #[test]
+    fn stability_violation_on_dropped_valid() {
+        let mut chk = ProtocolChecker::new();
+        // Cycle 0: AW valid but not ready -> must hold.
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        port.aw.drive(aw(1, 1));
+        // not ready
+        assert!(chk.observe(&port, 0).is_empty());
+        // Cycle 1: valid dropped.
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        let v = chk.observe(&port, 1);
+        assert_eq!(v[0].rule, Rule::AwStable);
+    }
+
+    #[test]
+    fn stability_violation_on_changed_payload() {
+        let mut chk = ProtocolChecker::new();
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        port.w.drive(WBeat::new(1, false));
+        assert!(chk.observe(&port, 0).is_empty());
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        port.w.drive(WBeat::new(2, false)); // changed data
+        let v = chk.observe(&port, 1);
+        assert_eq!(v[0].rule, Rule::WStable);
+    }
+
+    #[test]
+    fn stability_hold_then_fire_is_clean() {
+        let mut chk = ProtocolChecker::new();
+        let beat = aw(1, 1);
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        port.aw.drive(beat);
+        assert!(chk.observe(&port, 0).is_empty());
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        port.aw.drive(beat);
+        port.aw.set_ready(true);
+        assert!(chk.observe(&port, 1).is_empty());
+    }
+
+    #[test]
+    fn per_id_read_ordering_tracks_heads() {
+        let mut chk = ProtocolChecker::new();
+        cycle(&mut chk, 0, |p| fire_ar(p, ar(1, 1)));
+        cycle(&mut chk, 1, |p| fire_ar(p, ar(2, 2)));
+        assert_eq!(chk.outstanding_reads(), 2);
+        // Interleaved responses between IDs are legal.
+        assert!(cycle(&mut chk, 2, |p| fire_r(
+            p,
+            RBeat::new(AxiId(2), 0, Resp::Okay, false)
+        ))
+        .is_empty());
+        assert!(cycle(&mut chk, 3, |p| fire_r(
+            p,
+            RBeat::new(AxiId(1), 0, Resp::Okay, true)
+        ))
+        .is_empty());
+        assert!(cycle(&mut chk, 4, |p| fire_r(
+            p,
+            RBeat::new(AxiId(2), 0, Resp::Okay, true)
+        ))
+        .is_empty());
+        assert_eq!(chk.outstanding_reads(), 0);
+    }
+
+    #[test]
+    fn flush_discards_everything() {
+        let mut chk = ProtocolChecker::new();
+        cycle(&mut chk, 0, |p| {
+            fire_aw(p, aw(1, 4));
+            fire_ar(p, ar(1, 4));
+        });
+        assert_eq!(chk.outstanding_writes(), 1);
+        assert_eq!(chk.outstanding_reads(), 1);
+        chk.flush();
+        assert_eq!(chk.outstanding_writes(), 0);
+        assert_eq!(chk.outstanding_reads(), 0);
+    }
+
+    #[test]
+    fn violation_display_mentions_rule() {
+        let v = Violation {
+            rule: Rule::WlastEarly,
+            cycle: 7,
+            id: Some(AxiId(1)),
+            detail: "x".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("WLAST_EARLY"));
+        assert!(s.contains("cycle 7"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Prescaled-counter tick cost, with and without prescaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tmu::PrescaledCounter;
+
+fn bench(c: &mut Criterion) {
+    for (name, step, sticky) in [
+        ("counter_tick_flat", 1u64, false),
+        ("counter_tick_prescaled_sticky", 32, true),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut counter = PrescaledCounter::new(256, step, sticky);
+                for _ in 0..1024 {
+                    counter.tick();
+                    black_box(counter.expired());
+                }
+                black_box(counter.elapsed_cycles())
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Outstanding Transaction Table operations: enqueue/dequeue through the
+//! HT/LD/EI tables, and ID-remapper acquire/release.
+
+use axi4::AxiId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tmu::ott::Ott;
+use tmu::remap::IdRemapper;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ott_enqueue_dequeue_128", |b| {
+        let mut ott: Ott<u64> = Ott::new(4, 128);
+        b.iter(|| {
+            for uid in 0..4 {
+                for n in 0..32u64 {
+                    black_box(ott.enqueue(uid, n).expect("capacity"));
+                }
+            }
+            for uid in 0..4 {
+                while ott.dequeue_head(uid).is_some() {}
+            }
+        });
+    });
+
+    c.bench_function("remapper_acquire_release", |b| {
+        let mut remap = IdRemapper::new(4, 32);
+        b.iter(|| {
+            let mut uids = Vec::with_capacity(16);
+            for id in 0..16u16 {
+                uids.push(remap.acquire(AxiId(id % 4)).expect("slots"));
+            }
+            for uid in uids {
+                remap.release(uid);
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

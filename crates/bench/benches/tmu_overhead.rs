@@ -1,0 +1,49 @@
+//! Per-cycle simulation cost of the TMU pipeline: how much monitoring
+//! adds per simulated cycle, for each variant and with the TMU disabled
+//! (pure pass-through).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use soc::link::GuardedLink;
+use soc::manager::TrafficPattern;
+use soc::memory::MemSub;
+use tmu::config::Reg;
+use tmu::{TmuConfig, TmuVariant};
+
+fn link(variant: TmuVariant, enabled: bool) -> GuardedLink<MemSub> {
+    let cfg = TmuConfig::builder()
+        .variant(variant)
+        .max_uniq_ids(4)
+        .txn_per_id(8)
+        .build()
+        .expect("valid configuration");
+    let mut l = GuardedLink::new(TrafficPattern::default(), cfg, MemSub::default(), 3);
+    if !enabled {
+        l.tmu.write_reg(Reg::Ctrl, 0);
+    }
+    l
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tmu_cycle");
+    for (name, variant, enabled) in [
+        ("disabled_passthrough", TmuVariant::TinyCounter, false),
+        ("tiny_counter", TmuVariant::TinyCounter, true),
+        ("full_counter", TmuVariant::FullCounter, true),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut l = link(variant, enabled);
+                    l.run(100); // warm, steady-state traffic
+                    l
+                },
+                |l| l.run(1000),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Ablation: the AXI ID remapper (paper SII-A) - functional correctness
+//! with sparse IDs through few dense slots, and the area a direct-mapped
+//! table would cost instead.
+
+use tmu_bench::experiments::ablation_remapper;
+
+fn main() {
+    let r = ablation_remapper();
+    println!("ID-remapper ablation (16 sparse IDs through 4 dense slots):");
+    println!("  transactions completed: {}", r.completed_with_remap);
+    println!("  false faults:           {}", r.false_faults);
+    println!("  remapped TMU area:      {:.0} um2", r.remapped_area_um2);
+    println!(
+        "  direct-mapped (256-ID): {:.0} um2 ({:.1}x)",
+        r.direct_area_um2,
+        r.direct_area_um2 / r.remapped_area_um2
+    );
+    println!("=> the remapper preserves correctness under ID sparsity (back-pressure");
+    println!("   stalls, never faults) at a fraction of the direct-mapped area.");
+}

@@ -1,0 +1,38 @@
+//! Regenerates the paper's Fig. 7: area of the four TMU configurations
+//! (Tc, Fc, each with and without a prescaler of 32) versus outstanding
+//! transaction capacity, in calibrated GF12 um2.
+
+use tmu_bench::experiments::fig7;
+use tmu_bench::table::Table;
+
+fn main() {
+    let rows = fig7(&[1, 2, 4, 8, 16, 32]);
+    let mut t = Table::new(
+        "Fig. 7: area vs outstanding transactions (4 unique IDs, GF12 um2)",
+        &[
+            "Outstanding",
+            "Tc",
+            "Tc+Pre",
+            "Fc",
+            "Fc+Pre",
+            "Tc/Fc",
+            "Tc save%",
+            "Fc save%",
+        ],
+    );
+    for r in &rows {
+        t.row_owned(vec![
+            r.outstanding.to_string(),
+            format!("{:.0}", r.tc_um2),
+            format!("{:.0}", r.tc_pre_um2),
+            format!("{:.0}", r.fc_um2),
+            format!("{:.0}", r.fc_pre_um2),
+            format!("{:.2}", r.tc_um2 / r.fc_um2),
+            format!("{:.1}", (r.tc_um2 - r.tc_pre_um2) / r.tc_um2 * 100.0),
+            format!("{:.1}", (r.fc_um2 - r.fc_pre_um2) / r.fc_um2 * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper reference points: Tc 16/32 = 1330/2616 um2, Fc 16/32 = 3452/6787 um2;");
+    println!("prescaler savings 18-39% (Tc) and 19-32% (Fc); Tc ~38% of Fc on average.");
+}

@@ -1,0 +1,32 @@
+//! Regenerates the paper's Fig. 8: the effect of the prescaler step on
+//! area and fault-detection latency at a fixed 128-outstanding capacity,
+//! for both variants. Latency is reported both from the analytic model
+//! and from a cycle-accurate total-stall simulation.
+
+use tmu::TmuVariant;
+use tmu_bench::experiments::{fig8, FIG8_BUDGET};
+use tmu_bench::table::Table;
+
+fn main() {
+    let steps = [1u64, 2, 4, 8, 16, 32, 64, 128];
+    for variant in [TmuVariant::FullCounter, TmuVariant::TinyCounter] {
+        let label = match variant {
+            TmuVariant::FullCounter => "(a) Full-Counter",
+            TmuVariant::TinyCounter => "(b) Tiny-Counter",
+        };
+        let mut t = Table::new(
+            format!("Fig. 8{label}: prescaler step vs area and detection latency (128 outstanding, {FIG8_BUDGET}-cycle budget)"),
+            &["Step", "Area um2", "Latency (model)", "Latency (sim)"],
+        );
+        for p in fig8(variant, &steps) {
+            t.row_owned(vec![
+                p.step.to_string(),
+                format!("{:.0}", p.area_um2),
+                p.latency_model.to_string(),
+                p.latency_sim.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("Larger prescaler steps reduce area but increase detection latency (paper Fig. 8).");
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's Fig. 9 experiment: IP-level fault injection
+//! at key AXI transaction stages, comparing Tiny-Counter and
+//! Full-Counter detection latency and fault localization.
+
+use faults::FaultClass;
+use tmu::TmuVariant;
+use tmu_bench::experiments::{fig9, FIG9_BEATS};
+use tmu_bench::table::Table;
+
+fn main() {
+    let classes: Vec<FaultClass> = FaultClass::WRITE_CLASSES
+        .into_iter()
+        .chain(FaultClass::READ_CLASSES)
+        .collect();
+    let tc = fig9(TmuVariant::TinyCounter, &classes);
+    let fc = fig9(TmuVariant::FullCounter, &classes);
+
+    let mut t = Table::new(
+        format!("Fig. 9: fault injection on {FIG9_BEATS}-beat bursts - detection latency (cycles from activation)"),
+        &["Fault class", "Tc lat", "Fc lat", "Fc phase", "Recovered"],
+    );
+    for (a, b) in tc.iter().zip(&fc) {
+        t.row_owned(vec![
+            a.class.to_string(),
+            a.latency.to_string(),
+            b.latency.to_string(),
+            b.phase.map_or_else(|| "-".to_string(), |p| p.to_string()),
+            if a.recovered && b.recovered {
+                "both"
+            } else {
+                "CHECK"
+            }
+            .to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Fc's phase-level counters detect errors earlier and localize the failing phase;");
+    println!("Tc detects after the transaction-level budget (paper Fig. 9 discussion).");
+}

@@ -1,0 +1,44 @@
+//! Regenerates the paper's headline area numbers (abstract / SIII-A):
+//! the four GF12 anchor points and the prescaler savings, from the
+//! calibrated structural model.
+
+use gf12_area::cells::{calibration_report, CellLibrary};
+use tmu_bench::experiments::fig7;
+use tmu_bench::table::Table;
+
+fn main() {
+    let lib = CellLibrary::gf12_calibrated();
+    println!(
+        "Calibrated GF12 coefficients: {:.3} um2/FF-bit, {:.3} um2/GE\n",
+        lib.ff_um2, lib.ge_um2
+    );
+
+    let mut t = Table::new(
+        "Anchor points (paper SIII-A)",
+        &["Config", "Outstanding", "Paper um2", "Model um2", "Error"],
+    );
+    for (anchor, modelled, err) in calibration_report() {
+        t.row_owned(vec![
+            anchor.variant.to_string(),
+            (anchor.max_uniq_ids * anchor.txn_per_id as usize).to_string(),
+            format!("{:.0}", anchor.reported_um2),
+            format!("{modelled:.0}"),
+            format!("{:+.1}%", err * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let rows = fig7(&[4, 8, 16, 32]);
+    let mut t = Table::new(
+        "Prescaler savings at step 32 (paper: 18-39% Tc, 19-32% Fc)",
+        &["Outstanding", "Tc save%", "Fc save%"],
+    );
+    for r in rows {
+        t.row_owned(vec![
+            r.outstanding.to_string(),
+            format!("{:.1}", (r.tc_um2 - r.tc_pre_um2) / r.tc_um2 * 100.0),
+            format!("{:.1}", (r.fc_um2 - r.fc_pre_um2) / r.fc_um2 * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+}

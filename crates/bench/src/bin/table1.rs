@@ -1,0 +1,48 @@
+//! Regenerates the paper's Table I: key design parameters, shown for a
+//! set of representative configurations.
+
+use tmu::{TmuConfig, TmuVariant};
+use tmu_bench::table::Table;
+
+fn main() {
+    println!("Table I: Key Design Parameters");
+    println!("  MaxUniqIDs    — number of unique transaction IDs that can be tracked");
+    println!("  TxnPerUniqID  — outstanding transactions allowed per ID");
+    println!("  MaxOutstdTxns — total outstanding transactions supported");
+    println!();
+
+    let mut t = Table::new(
+        "Representative configurations (MaxOutstdTxns = MaxUniqIDs x TxnPerUniqID)",
+        &[
+            "Variant",
+            "MaxUniqIDs",
+            "TxnPerUniqID",
+            "MaxOutstdTxns",
+            "Prescaler",
+        ],
+    );
+    for (variant, ids, per_id, step) in [
+        (TmuVariant::TinyCounter, 4usize, 4u32, 1u64),
+        (TmuVariant::TinyCounter, 4, 8, 1),
+        (TmuVariant::TinyCounter, 4, 32, 32),
+        (TmuVariant::FullCounter, 4, 4, 1),
+        (TmuVariant::FullCounter, 4, 8, 1),
+        (TmuVariant::FullCounter, 4, 32, 32),
+    ] {
+        let cfg = TmuConfig::builder()
+            .variant(variant)
+            .max_uniq_ids(ids)
+            .txn_per_id(per_id)
+            .prescaler(step)
+            .build()
+            .expect("valid configuration");
+        t.row_owned(vec![
+            variant.to_string(),
+            cfg.max_uniq_ids().to_string(),
+            cfg.txn_per_id().to_string(),
+            cfg.max_outstanding().to_string(),
+            cfg.prescaler().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

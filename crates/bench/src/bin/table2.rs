@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table II: comparison of AXI transaction
+//! monitors in the literature.
+
+fn main() {
+    println!("{}", tmu_bench::related::render_table2());
+    println!("M.O. = multiple-outstanding-transaction support.");
+}

@@ -1,0 +1,283 @@
+//! The feature matrix behind the paper's Table II: a comparison of AXI
+//! transaction monitors in the literature against the two TMU variants.
+
+use crate::table::Table;
+
+/// One monitor's feature row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorFeatures {
+    /// Citation label.
+    pub name: &'static str,
+    /// Target protocol.
+    pub protocol: &'static str,
+    /// Hardware or software implementation.
+    pub hw: bool,
+    /// Reports timing metrics.
+    pub timing_metrics: bool,
+    /// Transaction-level monitoring.
+    pub txn_level: bool,
+    /// Phase-level monitoring.
+    pub phase_level: bool,
+    /// Protocol-rule checking.
+    pub prot_check: bool,
+    /// Performance metrics.
+    pub perf_metrics: bool,
+    /// Fault detection (and reaction).
+    pub fault_detection: bool,
+    /// Multiple-outstanding-transaction support.
+    pub multi_outstanding: bool,
+    /// Scalability (parametric capacity).
+    pub scalable: bool,
+}
+
+/// Every row of the paper's Table II, in order.
+pub const TABLE2: [MonitorFeatures; 13] = [
+    MonitorFeatures {
+        name: "Xilinx AXI Timeout [5]",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: true,
+        txn_level: true,
+        phase_level: false,
+        prot_check: false,
+        perf_metrics: false,
+        fault_detection: true,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "ARM Watchdog [6]",
+        protocol: "APB",
+        hw: true,
+        timing_metrics: true,
+        txn_level: true,
+        phase_level: false,
+        prot_check: false,
+        perf_metrics: false,
+        fault_detection: true,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "AMD Perf. Mon. [7]",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: true,
+        txn_level: true,
+        phase_level: false,
+        prot_check: false,
+        perf_metrics: true,
+        fault_detection: false,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "Synopsys Smart Mon. [8]",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: true,
+        txn_level: true,
+        phase_level: false,
+        prot_check: false,
+        perf_metrics: true,
+        fault_detection: false,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "Lazaro AXI Firewall [9]",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: false,
+        txn_level: true,
+        phase_level: false,
+        prot_check: false,
+        perf_metrics: false,
+        fault_detection: false,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "Ravi Bus Monitor [10]",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: true,
+        txn_level: true,
+        phase_level: false,
+        prot_check: false,
+        perf_metrics: true,
+        fault_detection: false,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "Lee Bus Monitor [11]",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: true,
+        txn_level: true,
+        phase_level: false,
+        prot_check: true,
+        perf_metrics: true,
+        fault_detection: false,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "Kyung Perf. Mon. [12]",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: true,
+        txn_level: true,
+        phase_level: false,
+        prot_check: false,
+        perf_metrics: true,
+        fault_detection: false,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "Chen AXIChecker [13]",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: false,
+        txn_level: true,
+        phase_level: false,
+        prot_check: true,
+        perf_metrics: false,
+        fault_detection: false,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "Tan Perf. Mon. [14]",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: true,
+        txn_level: true,
+        phase_level: false,
+        prot_check: false,
+        perf_metrics: true,
+        fault_detection: false,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "Edelman Transac. Mon. [15]",
+        protocol: "AXI",
+        hw: false,
+        timing_metrics: false,
+        txn_level: false,
+        phase_level: true,
+        prot_check: false,
+        perf_metrics: false,
+        fault_detection: false,
+        multi_outstanding: false,
+        scalable: false,
+    },
+    MonitorFeatures {
+        name: "This work: Tiny-Counter",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: true,
+        txn_level: true,
+        phase_level: false,
+        prot_check: true,
+        perf_metrics: true,
+        fault_detection: true,
+        multi_outstanding: true,
+        scalable: true,
+    },
+    MonitorFeatures {
+        name: "This work: Full-Counter",
+        protocol: "AXI",
+        hw: true,
+        timing_metrics: true,
+        txn_level: false,
+        phase_level: true,
+        prot_check: true,
+        perf_metrics: true,
+        fault_detection: true,
+        multi_outstanding: true,
+        scalable: true,
+    },
+];
+
+fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}
+
+/// Renders Table II.
+#[must_use]
+pub fn render_table2() -> String {
+    let mut t = Table::new(
+        "Table II: Comparison of AXI Transaction Monitors in the Literature",
+        &[
+            "Reference",
+            "Prot.",
+            "HW/SW",
+            "Timing",
+            "Txn-lvl",
+            "Phase-lvl",
+            "ProtChk",
+            "Perf",
+            "FaultDet",
+            "M.O.",
+            "Scal.",
+        ],
+    );
+    for m in TABLE2 {
+        t.row_owned(vec![
+            m.name.to_string(),
+            m.protocol.to_string(),
+            if m.hw { "HW" } else { "SW" }.to_string(),
+            mark(m.timing_metrics).to_string(),
+            mark(m.txn_level).to_string(),
+            mark(m.phase_level).to_string(),
+            mark(m.prot_check).to_string(),
+            mark(m.perf_metrics).to_string(),
+            mark(m.fault_detection).to_string(),
+            mark(m.multi_outstanding).to_string(),
+            mark(m.scalable).to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn this_work_is_the_only_multi_outstanding_fault_detector() {
+        let ours: Vec<_> = TABLE2.iter().filter(|m| m.multi_outstanding).collect();
+        assert_eq!(ours.len(), 2);
+        assert!(ours.iter().all(|m| m.fault_detection && m.scalable));
+        assert!(ours.iter().all(|m| m.name.starts_with("This work")));
+    }
+
+    #[test]
+    fn fc_is_phase_level_tc_is_txn_level() {
+        let tc = TABLE2.iter().find(|m| m.name.contains("Tiny")).unwrap();
+        let fc = TABLE2.iter().find(|m| m.name.contains("Full")).unwrap();
+        assert!(tc.txn_level && !tc.phase_level);
+        assert!(fc.phase_level && !fc.txn_level);
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let s = render_table2();
+        for m in TABLE2 {
+            assert!(s.contains(m.name), "missing {}", m.name);
+        }
+    }
+
+    #[test]
+    fn matches_paper_row_count() {
+        assert_eq!(TABLE2.len(), 13);
+    }
+}

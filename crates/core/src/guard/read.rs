@@ -1,0 +1,340 @@
+//! The Read Guard: monitors AR/R for one subordinate link.
+
+use axi4::beat::{ArBeat, RBeat};
+use axi4::channel::AxiPort;
+use axi4::AxiId;
+use serde::{Deserialize, Serialize};
+
+use super::{AbortTxn, GuardFault};
+use crate::budget::{BudgetConfig, QueueLoad, ReadBudgets};
+use crate::config::{TmuConfig, TmuVariant};
+use crate::counter::PrescaledCounter;
+use crate::log::{FaultKind, PerfLog, PerfRecord};
+use crate::ott::{LdIndex, Ott};
+use crate::phase::ReadPhase;
+use crate::remap::IdRemapper;
+
+/// Per-transaction tracker state stored in the read OTT's LD rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadTracker {
+    /// The AR beat that opened the transaction.
+    pub ar: ArBeat,
+    /// Current phase.
+    pub phase: ReadPhase,
+    /// R beats transferred so far.
+    pub beats_done: u16,
+    /// Timeout counter (whole-transaction for Tc, current-phase for Fc).
+    pub counter: PrescaledCounter,
+    /// Per-phase budgets (consulted by Fc at each transition).
+    pub budgets: ReadBudgets,
+    /// Cycle the transaction entered the OTT.
+    pub enqueued_at: u64,
+    /// Cycle the current phase started.
+    pub phase_started_at: u64,
+    /// Recorded per-phase latencies (4 used slots).
+    pub phase_cycles: [u64; 6],
+    /// Latched once this transaction has timed out.
+    pub timed_out: bool,
+}
+
+impl ReadTracker {
+    /// Data beats the subordinate still owes.
+    #[must_use]
+    pub fn beats_remaining(&self) -> u16 {
+        self.ar.len.beats().saturating_sub(self.beats_done)
+    }
+}
+
+/// Per-cycle observation snapshot.
+#[derive(Debug, Clone, Default)]
+struct ReadObservation {
+    ar_offered: Option<ArBeat>,
+    ar_fired: bool,
+    r_offered: Option<RBeat>,
+    r_fired: Option<RBeat>,
+}
+
+/// The Read Guard. See the [module docs](super) for the monitoring model.
+#[derive(Debug, Clone)]
+pub struct ReadGuard {
+    variant: TmuVariant,
+    prescaler: u64,
+    sticky: bool,
+    budget_cfg: BudgetConfig,
+    ott: Ott<ReadTracker>,
+    remap: IdRemapper,
+    ar_pending: Option<LdIndex>,
+    stalled_this_cycle: bool,
+    obs: ReadObservation,
+}
+
+impl ReadGuard {
+    /// Builds the guard for a TMU configuration.
+    #[must_use]
+    pub fn new(cfg: &TmuConfig) -> Self {
+        ReadGuard {
+            variant: cfg.variant(),
+            prescaler: cfg.prescaler(),
+            sticky: cfg.sticky(),
+            budget_cfg: *cfg.budgets(),
+            ott: Ott::new(cfg.max_uniq_ids(), cfg.max_outstanding()),
+            remap: IdRemapper::new(cfg.max_uniq_ids(), cfg.txn_per_id()),
+            ar_pending: None,
+            stalled_this_cycle: false,
+            obs: ReadObservation::default(),
+        }
+    }
+
+    /// Replaces the budget configuration (software reprogramming).
+    pub fn set_budgets(&mut self, budgets: BudgetConfig) {
+        self.budget_cfg = budgets;
+    }
+
+    /// Outstanding read transactions currently tracked.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.ott.len()
+    }
+
+    /// Whether a new AR with `id` must be stalled this cycle.
+    pub fn decide_stall(&mut self, ar: Option<&ArBeat>) -> bool {
+        self.stalled_this_cycle = match ar {
+            _ if self.ar_pending.is_some() => false,
+            Some(beat) => self.ott.is_full() || self.remap.probe(beat.id).is_err(),
+            None => false,
+        };
+        self.stalled_this_cycle
+    }
+
+    /// Captures the settled manager-side wires for this cycle.
+    pub fn observe(&mut self, port: &AxiPort) {
+        self.obs = ReadObservation {
+            ar_offered: port.ar.beat().copied(),
+            ar_fired: port.ar.fires(),
+            r_offered: port.r.beat().copied(),
+            r_fired: port.r.fired_beat().copied(),
+        };
+    }
+
+    fn queue_load(&self) -> QueueLoad {
+        QueueLoad {
+            txns_ahead: self.ott.len(),
+            beats_ahead: self
+                .ott
+                .iter()
+                .map(|(_, e)| u64::from(e.tracker.beats_remaining()))
+                .sum(),
+        }
+    }
+
+    fn transition(tracker: &mut ReadTracker, to: ReadPhase, cycle: u64, variant: TmuVariant) {
+        let from = tracker.phase;
+        if !from.is_done() {
+            tracker.phase_cycles[from.index()] =
+                (cycle + 1).saturating_sub(tracker.phase_started_at);
+        }
+        tracker.phase = to;
+        tracker.phase_started_at = cycle + 1;
+        if variant == TmuVariant::FullCounter && !to.is_done() {
+            tracker.counter.rebudget(tracker.budgets.for_phase(to));
+        }
+    }
+
+    /// Advances the phase machines, ticks counters, and reports faults.
+    pub fn commit(&mut self, cycle: u64, perf: &mut PerfLog) -> Vec<GuardFault> {
+        let obs = std::mem::take(&mut self.obs);
+        let mut faults = Vec::new();
+
+        // 1. New AR observed: allocate unless stalled or already pending.
+        if let Some(ar) = obs.ar_offered {
+            if self.ar_pending.is_none() && !self.stalled_this_cycle {
+                let load = self.queue_load();
+                let budgets = self.budget_cfg.read_budgets(ar.len.beats(), load);
+                let initial_budget = match self.variant {
+                    TmuVariant::TinyCounter => {
+                        self.budget_cfg.tiny_read_budget(ar.len.beats(), load)
+                    }
+                    TmuVariant::FullCounter => budgets.ar_handshake,
+                };
+                let uid = self
+                    .remap
+                    .acquire(ar.id)
+                    .expect("stall decision guaranteed admission");
+                let tracker = ReadTracker {
+                    ar,
+                    phase: ReadPhase::ArHandshake,
+                    beats_done: 0,
+                    counter: PrescaledCounter::new(initial_budget, self.prescaler, self.sticky),
+                    budgets,
+                    enqueued_at: cycle,
+                    phase_started_at: cycle,
+                    phase_cycles: [0; 6],
+                    timed_out: false,
+                };
+                let idx = self
+                    .ott
+                    .enqueue(uid, tracker)
+                    .expect("stall decision guaranteed capacity");
+                self.ar_pending = Some(idx);
+            }
+        }
+
+        // 2. AR handshake completes: wait for data.
+        if obs.ar_fired {
+            if let Some(idx) = self.ar_pending.take() {
+                let variant = self.variant;
+                if let Some(entry) = self.ott.get_mut(idx) {
+                    Self::transition(&mut entry.tracker, ReadPhase::DataWait, cycle, variant);
+                }
+            }
+        }
+
+        // 3. R beats route by ID to the per-ID FIFO head (same-ID reads
+        //    complete in order; cross-ID interleaving is legal).
+        if let Some(r) = obs.r_offered {
+            if let Some(uid) = self.remap.lookup(r.id) {
+                if let Some(idx) = self.ott.head_of(uid) {
+                    let variant = self.variant;
+                    if let Some(entry) = self.ott.get_mut(idx) {
+                        let t = &mut entry.tracker;
+                        let offered_is_final = t.beats_done + 1 == t.ar.len.beats();
+                        if t.phase == ReadPhase::DataWait {
+                            let to = if offered_is_final {
+                                ReadPhase::LastReady
+                            } else {
+                                ReadPhase::BurstTransfer
+                            };
+                            Self::transition(t, to, cycle, variant);
+                        } else if t.phase == ReadPhase::BurstTransfer && offered_is_final {
+                            Self::transition(t, ReadPhase::LastReady, cycle, variant);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(r) = obs.r_fired {
+            if let Some(uid) = self.remap.lookup(r.id) {
+                if let Some(idx) = self.ott.head_of(uid) {
+                    let variant = self.variant;
+                    let mut retire = false;
+                    if let Some(entry) = self.ott.get_mut(idx) {
+                        let t = &mut entry.tracker;
+                        if !t.phase.is_done() && t.phase != ReadPhase::ArHandshake {
+                            t.beats_done += 1;
+                            // The subordinate's RLAST drives completion;
+                            // reaching the expected count does likewise
+                            // (an RLAST mismatch is a checker violation).
+                            if r.last || t.beats_done >= t.ar.len.beats() {
+                                Self::transition(t, ReadPhase::Done, cycle, variant);
+                                retire = true;
+                            }
+                        }
+                    }
+                    if retire {
+                        let (_, entry) = self.ott.dequeue_head(uid).expect("head exists");
+                        self.remap.release(uid);
+                        let t = entry.tracker;
+                        let total = cycle - t.enqueued_at + 1;
+                        perf.record(
+                            PerfRecord {
+                                id: t.ar.id,
+                                addr: t.ar.addr,
+                                is_write: false,
+                                beats: t.beats_done,
+                                total_cycles: total,
+                                phase_cycles: [
+                                    t.phase_cycles[0],
+                                    t.phase_cycles[1],
+                                    t.phase_cycles[2],
+                                    t.phase_cycles[3],
+                                    0,
+                                    0,
+                                ],
+                                completed_at: cycle,
+                            },
+                            t.ar.size.bytes(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // 4. Tick every live counter and flag expiries.
+        for (_, entry) in self.ott.iter_mut() {
+            let t = &mut entry.tracker;
+            if t.phase.is_done() || t.timed_out {
+                continue;
+            }
+            t.counter.tick();
+            if t.counter.expired() {
+                t.timed_out = true;
+                faults.push(GuardFault {
+                    kind: FaultKind::Timeout,
+                    phase: match self.variant {
+                        TmuVariant::FullCounter => Some(t.phase.into()),
+                        TmuVariant::TinyCounter => None,
+                    },
+                    id: t.ar.id,
+                    addr: t.ar.addr,
+                    inflight_cycles: cycle - t.enqueued_at + 1,
+                });
+            }
+        }
+
+        self.stalled_this_cycle = false;
+        faults
+    }
+
+    /// Builds the abort obligations for every outstanding read (the
+    /// remaining R beats, answered with `SLVERR`) and clears all tracking
+    /// state.
+    pub fn drain_for_abort(&mut self) -> super::AbortSet {
+        let responses = self
+            .ott
+            .iter()
+            .map(|(_, e)| AbortTxn {
+                id: e.tracker.ar.id,
+                beats_remaining: e.tracker.beats_remaining().max(1),
+            })
+            .collect();
+        let accept_pending_addr = self.ar_pending.is_some();
+        self.clear();
+        super::AbortSet {
+            responses,
+            drain_w_beats: 0,
+            accept_pending_addr,
+        }
+    }
+
+    /// Discards all tracking state (reset path).
+    pub fn clear(&mut self) {
+        self.ott.clear();
+        self.remap.clear();
+        self.ar_pending = None;
+        self.stalled_this_cycle = false;
+        self.obs = ReadObservation::default();
+    }
+
+    /// Phase of the transaction currently at the head of `id`'s FIFO
+    /// (test/diagnostic hook).
+    #[must_use]
+    pub fn head_phase(&self, id: AxiId) -> Option<ReadPhase> {
+        let uid = self.remap.lookup(id)?;
+        let idx = self.ott.head_of(uid)?;
+        self.ott.get(idx).map(|e| e.tracker.phase)
+    }
+
+    /// Internal consistency check for property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on OTT inconsistencies.
+    pub fn assert_consistent(&self) {
+        self.ott.assert_consistent();
+        assert_eq!(
+            self.remap.outstanding(),
+            self.ott.len(),
+            "remapper refcounts must match OTT occupancy"
+        );
+    }
+}

@@ -1,0 +1,416 @@
+//! The Write Guard: monitors AW/W/B for one subordinate link.
+
+use axi4::beat::{AwBeat, BBeat};
+use axi4::channel::AxiPort;
+use axi4::AxiId;
+use serde::{Deserialize, Serialize};
+
+use super::{AbortTxn, GuardFault};
+use crate::budget::{BudgetConfig, QueueLoad, WriteBudgets};
+use crate::config::{TmuConfig, TmuVariant};
+use crate::counter::PrescaledCounter;
+use crate::log::{FaultKind, PerfLog, PerfRecord};
+use crate::ott::{LdIndex, Ott};
+use crate::phase::WritePhase;
+use crate::remap::IdRemapper;
+
+/// Per-transaction tracker state stored in the write OTT's LD rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteTracker {
+    /// The AW beat that opened the transaction.
+    pub aw: AwBeat,
+    /// Current phase.
+    pub phase: WritePhase,
+    /// W beats transferred so far.
+    pub beats_done: u16,
+    /// Timeout counter (whole-transaction for Tc, current-phase for Fc).
+    pub counter: PrescaledCounter,
+    /// Per-phase budgets (consulted by Fc at each transition).
+    pub budgets: WriteBudgets,
+    /// Cycle the transaction entered the OTT.
+    pub enqueued_at: u64,
+    /// Cycle the current phase started.
+    pub phase_started_at: u64,
+    /// Recorded per-phase latencies.
+    pub phase_cycles: [u64; 6],
+    /// Latched once this transaction has timed out.
+    pub timed_out: bool,
+}
+
+impl WriteTracker {
+    /// Data beats the transaction still owes.
+    #[must_use]
+    pub fn beats_remaining(&self) -> u16 {
+        self.aw.len.beats().saturating_sub(self.beats_done)
+    }
+}
+
+/// Per-cycle observation snapshot, captured by [`WriteGuard::observe`]
+/// and consumed by [`WriteGuard::commit`].
+#[derive(Debug, Clone, Default)]
+struct WriteObservation {
+    aw_offered: Option<AwBeat>,
+    aw_fired: bool,
+    w_offered: bool,
+    w_fired: bool,
+    b_offered: Option<BBeat>,
+    b_fired: Option<BBeat>,
+}
+
+/// The Write Guard. See the [module docs](super) for the monitoring
+/// model.
+#[derive(Debug, Clone)]
+pub struct WriteGuard {
+    variant: TmuVariant,
+    prescaler: u64,
+    sticky: bool,
+    budget_cfg: BudgetConfig,
+    ott: Ott<WriteTracker>,
+    remap: IdRemapper,
+    /// Residual beats of previously aborted bursts still draining ahead
+    /// of any new write's data (set by the TMU each cycle).
+    pending_drain_beats: u64,
+    /// Entry allocated on `aw_valid`, still waiting for `aw_ready`.
+    aw_pending: Option<LdIndex>,
+    /// Whether this cycle's AW was stalled by saturation backpressure.
+    stalled_this_cycle: bool,
+    obs: WriteObservation,
+}
+
+impl WriteGuard {
+    /// Builds the guard for a TMU configuration.
+    #[must_use]
+    pub fn new(cfg: &TmuConfig) -> Self {
+        WriteGuard {
+            variant: cfg.variant(),
+            prescaler: cfg.prescaler(),
+            sticky: cfg.sticky(),
+            budget_cfg: *cfg.budgets(),
+            ott: Ott::new(cfg.max_uniq_ids(), cfg.max_outstanding()),
+            remap: IdRemapper::new(cfg.max_uniq_ids(), cfg.txn_per_id()),
+            pending_drain_beats: 0,
+            aw_pending: None,
+            stalled_this_cycle: false,
+            obs: WriteObservation::default(),
+        }
+    }
+
+    /// Residual abort-drain beats that will occupy the W channel before
+    /// any newly enqueued write's data: charged into the adaptive
+    /// queue-waiting budget.
+    pub fn set_pending_drain(&mut self, beats: u64) {
+        self.pending_drain_beats = beats;
+    }
+
+    /// Replaces the budget configuration (software reprogramming via the
+    /// register file). Applies to transactions enqueued afterwards.
+    pub fn set_budgets(&mut self, budgets: BudgetConfig) {
+        self.budget_cfg = budgets;
+    }
+
+    /// Outstanding write transactions currently tracked.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.ott.len()
+    }
+
+    /// Whether a new AW with `id` must be stalled this cycle
+    /// (saturation / remapper backpressure, paper §II-D). The decision is
+    /// remembered; call once per cycle from the forward pass.
+    pub fn decide_stall(&mut self, aw: Option<&AwBeat>) -> bool {
+        self.stalled_this_cycle = match aw {
+            // An already-allocated AW is never stalled.
+            _ if self.aw_pending.is_some() => false,
+            Some(beat) => self.ott.is_full() || self.remap.probe(beat.id).is_err(),
+            None => false,
+        };
+        self.stalled_this_cycle
+    }
+
+    /// Captures the settled manager-side wires for this cycle.
+    pub fn observe(&mut self, port: &AxiPort) {
+        self.obs = WriteObservation {
+            aw_offered: port.aw.beat().copied(),
+            aw_fired: port.aw.fires(),
+            w_offered: port.w.valid(),
+            w_fired: port.w.fires(),
+            b_offered: port.b.beat().copied(),
+            b_fired: port.b.fired_beat().copied(),
+        };
+    }
+
+    /// The queue load ahead of a new arrival (adaptive-budget input).
+    fn queue_load(&self) -> QueueLoad {
+        QueueLoad {
+            txns_ahead: self.ott.len(),
+            beats_ahead: self.pending_drain_beats
+                + self
+                    .ott
+                    .iter()
+                    .map(|(_, e)| u64::from(e.tracker.beats_remaining()))
+                    .sum::<u64>(),
+        }
+    }
+
+    fn transition(tracker: &mut WriteTracker, to: WritePhase, cycle: u64, variant: TmuVariant) {
+        let from = tracker.phase;
+        if !from.is_done() {
+            // Latency of the finished phase: inclusive of this cycle; a
+            // same-cycle double transition yields zero.
+            tracker.phase_cycles[from.index()] =
+                (cycle + 1).saturating_sub(tracker.phase_started_at);
+        }
+        tracker.phase = to;
+        tracker.phase_started_at = cycle + 1;
+        if variant == TmuVariant::FullCounter && !to.is_done() {
+            tracker.counter.rebudget(tracker.budgets.for_phase(to));
+        }
+    }
+
+    /// Advances the phase machines, ticks counters, and reports faults.
+    ///
+    /// `cycle` is the current cycle index; `perf` receives a record for
+    /// every completed transaction (Full-Counter granularity when the
+    /// variant is Fc).
+    pub fn commit(&mut self, cycle: u64, perf: &mut PerfLog) -> Vec<GuardFault> {
+        let obs = std::mem::take(&mut self.obs);
+        let mut faults = Vec::new();
+
+        // 1. New AW observed: allocate unless stalled or already pending.
+        if let Some(aw) = obs.aw_offered {
+            if self.aw_pending.is_none() && !self.stalled_this_cycle {
+                let load = self.queue_load();
+                let budgets = self.budgets_for(&aw, load);
+                let initial_budget = match self.variant {
+                    TmuVariant::TinyCounter => self.tiny_budget_for(&aw, load),
+                    TmuVariant::FullCounter => budgets.aw_handshake,
+                };
+                let uid = self
+                    .remap
+                    .acquire(aw.id)
+                    .expect("stall decision guaranteed admission");
+                let tracker = WriteTracker {
+                    aw,
+                    phase: WritePhase::AwHandshake,
+                    beats_done: 0,
+                    counter: PrescaledCounter::new(initial_budget, self.prescaler, self.sticky),
+                    budgets,
+                    enqueued_at: cycle,
+                    phase_started_at: cycle,
+                    phase_cycles: [0; 6],
+                    timed_out: false,
+                };
+                let idx = self
+                    .ott
+                    .enqueue(uid, tracker)
+                    .expect("stall decision guaranteed capacity");
+                self.aw_pending = Some(idx);
+            }
+        }
+
+        // 2. AW handshake completes: enter the data-entry phase.
+        if obs.aw_fired {
+            if let Some(idx) = self.aw_pending.take() {
+                let variant = self.variant;
+                if let Some(entry) = self.ott.get_mut(idx) {
+                    Self::transition(&mut entry.tracker, WritePhase::DataEntry, cycle, variant);
+                }
+            }
+        }
+
+        // 3. W beats route to the EI-front transaction (AW order).
+        if obs.w_offered || obs.w_fired {
+            if let Some(idx) = self.ott.ei_front() {
+                let variant = self.variant;
+                let mut advance_ei = false;
+                let mut complete_data = false;
+                if let Some(entry) = self.ott.get_mut(idx) {
+                    let t = &mut entry.tracker;
+                    if obs.w_offered && t.phase == WritePhase::DataEntry {
+                        Self::transition(t, WritePhase::FirstData, cycle, variant);
+                    }
+                    if obs.w_fired {
+                        match t.phase {
+                            WritePhase::FirstData => {
+                                t.beats_done = 1;
+                                if t.beats_done == t.aw.len.beats() {
+                                    Self::transition(t, WritePhase::RespWait, cycle, variant);
+                                    complete_data = true;
+                                } else {
+                                    Self::transition(t, WritePhase::BurstTransfer, cycle, variant);
+                                }
+                            }
+                            WritePhase::BurstTransfer => {
+                                t.beats_done += 1;
+                                if t.beats_done == t.aw.len.beats() {
+                                    Self::transition(t, WritePhase::RespWait, cycle, variant);
+                                    complete_data = true;
+                                }
+                            }
+                            // Early data for a transaction whose address
+                            // has not been accepted: ignored here, the
+                            // protocol checker reports it.
+                            _ => {}
+                        }
+                    }
+                    advance_ei = complete_data;
+                }
+                if advance_ei {
+                    self.ott.ei_advance(idx);
+                }
+            }
+        }
+
+        // 4. B response: valid moves RespWait -> RespReady; the fired
+        //    handshake completes and retires the transaction.
+        if let Some(b) = obs.b_offered {
+            if let Some(uid) = self.remap.lookup(b.id) {
+                if let Some(idx) = self.ott.head_of(uid) {
+                    let variant = self.variant;
+                    if let Some(entry) = self.ott.get_mut(idx) {
+                        if entry.tracker.phase == WritePhase::RespWait {
+                            Self::transition(
+                                &mut entry.tracker,
+                                WritePhase::RespReady,
+                                cycle,
+                                variant,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(b) = obs.b_fired {
+            if let Some(uid) = self.remap.lookup(b.id) {
+                let head_ready = self
+                    .ott
+                    .head_of(uid)
+                    .and_then(|idx| self.ott.get(idx))
+                    .is_some_and(|e| e.tracker.phase == WritePhase::RespReady);
+                if head_ready {
+                    let (_, entry) = self.ott.dequeue_head(uid).expect("head exists");
+                    self.remap.release(uid);
+                    let mut t = entry.tracker;
+                    Self::transition(&mut t, WritePhase::Done, cycle, self.variant);
+                    let total = cycle - t.enqueued_at + 1;
+                    perf.record(
+                        PerfRecord {
+                            id: t.aw.id,
+                            addr: t.aw.addr,
+                            is_write: true,
+                            beats: t.aw.len.beats(),
+                            total_cycles: total,
+                            phase_cycles: t.phase_cycles,
+                            completed_at: cycle,
+                        },
+                        t.aw.size.bytes(),
+                    );
+                }
+                // A B for an ID whose head is not awaiting one is a
+                // protocol violation — reported by the embedded checker.
+            }
+        }
+
+        // 5. Tick every live counter and flag expiries.
+        for (_, entry) in self.ott.iter_mut() {
+            let t = &mut entry.tracker;
+            if t.phase.is_done() || t.timed_out {
+                continue;
+            }
+            t.counter.tick();
+            if t.counter.expired() {
+                t.timed_out = true;
+                faults.push(GuardFault {
+                    kind: FaultKind::Timeout,
+                    phase: match self.variant {
+                        TmuVariant::FullCounter => Some(t.phase.into()),
+                        TmuVariant::TinyCounter => None,
+                    },
+                    id: t.aw.id,
+                    addr: t.aw.addr,
+                    inflight_cycles: cycle - t.enqueued_at + 1,
+                });
+            }
+        }
+
+        self.stalled_this_cycle = false;
+        faults
+    }
+
+    fn budgets_for(&self, aw: &AwBeat, load: QueueLoad) -> WriteBudgets {
+        self.budget_cfg.write_budgets(aw.len.beats(), load)
+    }
+
+    fn tiny_budget_for(&self, aw: &AwBeat, load: QueueLoad) -> u64 {
+        self.budget_cfg.tiny_write_budget(aw.len.beats(), load)
+    }
+
+    /// Builds the abort obligations for every outstanding write (one
+    /// `SLVERR` B each, plus the residual W beats the manager still has
+    /// to send) and clears all tracking state. Used when the TMU severs
+    /// the subordinate.
+    pub fn drain_for_abort(&mut self) -> super::AbortSet {
+        let responses = self
+            .ott
+            .iter()
+            .map(|(_, e)| AbortTxn {
+                id: e.tracker.aw.id,
+                beats_remaining: 1,
+            })
+            .collect();
+        let drain_w_beats = self
+            .ott
+            .iter()
+            .map(|(_, e)| u64::from(e.tracker.beats_remaining()))
+            .sum();
+        let accept_pending_addr = self.aw_pending.is_some();
+        self.clear();
+        super::AbortSet {
+            responses,
+            drain_w_beats,
+            accept_pending_addr,
+        }
+    }
+
+    /// Discards all tracking state (reset path).
+    pub fn clear(&mut self) {
+        self.ott.clear();
+        self.remap.clear();
+        self.aw_pending = None;
+        self.stalled_this_cycle = false;
+        self.obs = WriteObservation::default();
+    }
+
+    /// Phase of the transaction currently at the head of `id`'s FIFO
+    /// (test/diagnostic hook).
+    #[must_use]
+    pub fn head_phase(&self, id: AxiId) -> Option<WritePhase> {
+        let uid = self.remap.lookup(id)?;
+        let idx = self.ott.head_of(uid)?;
+        self.ott.get(idx).map(|e| e.tracker.phase)
+    }
+
+    /// Diagnostic snapshot of all tracked transactions:
+    /// `(id, phase, counter)`.
+    #[must_use]
+    pub fn debug_entries(&self) -> Vec<(AxiId, WritePhase, PrescaledCounter)> {
+        self.ott
+            .iter()
+            .map(|(_, e)| (e.tracker.aw.id, e.tracker.phase, e.tracker.counter))
+            .collect()
+    }
+
+    /// Internal consistency check for property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on OTT inconsistencies.
+    pub fn assert_consistent(&self) {
+        self.ott.assert_consistent();
+        assert_eq!(
+            self.remap.outstanding(),
+            self.ott.len(),
+            "remapper refcounts must match OTT occupancy"
+        );
+    }
+}

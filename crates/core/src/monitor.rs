@@ -1,0 +1,1023 @@
+//! The top-level Transaction Monitoring Unit (paper §II, Figs. 1 & 2).
+//!
+//! [`Tmu`] is a drop-in block between the AXI4 interconnect (manager
+//! side) and a subordinate. Per cycle, the surrounding harness calls, in
+//! order:
+//!
+//! 1. [`Tmu::forward_request`] — after the manager drives its wires:
+//!    copies AW/W/AR valid+payload and B/R ready onto the subordinate
+//!    port (possibly gated: OTT saturation backpressure, or severed after
+//!    a fault);
+//! 2. [`Tmu::forward_response`] — after the subordinate drives its wires:
+//!    copies B/R valid+payload and AW/W/AR ready back to the manager
+//!    (possibly replaced by `SLVERR` abort responses);
+//! 3. [`Tmu::observe`] — taps the settled manager-side wires ("listens in
+//!    parallel", adding no latency on the datapath);
+//! 4. [`Tmu::commit`] — advances the guards' phase machines and timeout
+//!    counters, detects faults, and steps the recovery state machine.
+//!
+//! # Fault reaction (paper §II-B)
+//!
+//! On detecting a protocol violation or timeout the TMU severs both
+//! request and response paths, aborts every outstanding transaction by
+//! answering the manager with `SLVERR`, raises an interrupt, and requests
+//! an external hardware reset of the subordinate. Once the reset
+//! completes ([`Tmu::reset_done`]) it resumes normal monitoring.
+
+use std::collections::VecDeque;
+
+use axi4::beat::{BBeat, RBeat};
+use axi4::channel::AxiPort;
+use axi4::checker::ProtocolChecker;
+use serde::{Deserialize, Serialize};
+use sim::EventTrace;
+
+use crate::config::{Reg, RegisterFile, TmuConfig, TmuVariant};
+use crate::guard::{AbortTxn, ReadGuard, WriteGuard};
+use crate::log::{ErrorLog, ErrorRecord, FaultKind, PerfLog};
+
+/// The TMU's recovery state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TmuState {
+    /// Normal operation: pass-through forwarding, parallel monitoring.
+    Monitoring,
+    /// Fault detected: paths severed, outstanding transactions being
+    /// aborted with `SLVERR` towards the manager.
+    Aborting,
+    /// All transactions aborted; waiting for the external reset unit to
+    /// reinitialize the subordinate.
+    WaitReset,
+}
+
+/// The Transaction Monitoring Unit. See the [module docs](self) for the
+/// per-cycle protocol and the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Tmu {
+    cfg: TmuConfig,
+    regs: RegisterFile,
+    write_guard: WriteGuard,
+    read_guard: ReadGuard,
+    checker: ProtocolChecker,
+    state: TmuState,
+    err_log: ErrorLog,
+    perf_log: PerfLog,
+    abort_b: VecDeque<AbortTxn>,
+    abort_r: VecDeque<AbortTxn>,
+    /// Residual W beats of aborted writes still owed by the manager
+    /// (AXI forbids cancelling an issued burst): absorbed and discarded.
+    w_drain_beats: u64,
+    /// A held AW/AR the TMU must accept itself while severed.
+    accept_aw: bool,
+    accept_ar: bool,
+    /// Reset completion arrived while address accepts were pending.
+    reset_completed: bool,
+    reset_request: bool,
+    stall_aw: bool,
+    stall_ar: bool,
+    abort_b_fired: bool,
+    abort_r_fired: bool,
+    drain_w_fired: bool,
+    accept_aw_fired: bool,
+    accept_ar_fired: bool,
+    pending_violations: Vec<axi4::checker::Violation>,
+    faults_detected: u64,
+    resets_requested: u64,
+    cycles: u64,
+    trace: EventTrace,
+}
+
+impl Tmu {
+    /// Builds a TMU from its elaboration-time configuration. The
+    /// register file comes up enabled with the configured budgets.
+    #[must_use]
+    pub fn new(cfg: TmuConfig) -> Self {
+        let regs = RegisterFile::from_budgets(cfg.budgets(), cfg.prescaler());
+        Tmu {
+            write_guard: WriteGuard::new(&cfg),
+            read_guard: ReadGuard::new(&cfg),
+            checker: ProtocolChecker::new(),
+            regs,
+            cfg,
+            state: TmuState::Monitoring,
+            err_log: ErrorLog::new(),
+            perf_log: PerfLog::new(),
+            abort_b: VecDeque::new(),
+            abort_r: VecDeque::new(),
+            w_drain_beats: 0,
+            accept_aw: false,
+            accept_ar: false,
+            reset_completed: false,
+            reset_request: false,
+            stall_aw: false,
+            stall_ar: false,
+            abort_b_fired: false,
+            abort_r_fired: false,
+            drain_w_fired: false,
+            accept_aw_fired: false,
+            accept_ar_fired: false,
+            pending_violations: Vec::new(),
+            faults_detected: 0,
+            resets_requested: 0,
+            cycles: 0,
+            trace: EventTrace::new(),
+        }
+    }
+
+    /// The elaboration-time configuration.
+    #[must_use]
+    pub fn config(&self) -> &TmuConfig {
+        &self.cfg
+    }
+
+    /// The recovery state machine's current state.
+    #[must_use]
+    pub fn state(&self) -> TmuState {
+        self.state
+    }
+
+    /// Software register read.
+    #[must_use]
+    pub fn read_reg(&self, reg: Reg) -> u32 {
+        match reg {
+            Reg::ErrCount => self.err_log.len() as u32,
+            Reg::ErrHeadInfo => match self.err_log.iter().next() {
+                None => 0,
+                Some(rec) => {
+                    let kind = u32::from(rec.kind.reg_code()) << 24;
+                    let phase = u32::from(rec.phase.map_or(0, |p| p.reg_code())) << 16;
+                    let id = u32::from(rec.id.map_or(0, |i| i.0));
+                    kind | phase | id
+                }
+            },
+            Reg::ErrHeadCycle => self.err_log.iter().next().map_or(0, |rec| rec.cycle as u32),
+            _ => self.regs.read(reg),
+        }
+    }
+
+    /// Software register write. Budget writes take effect for
+    /// transactions enqueued afterwards; writing [`Reg::ErrPop`] pops
+    /// the oldest error-log entry.
+    pub fn write_reg(&mut self, reg: Reg, value: u32) {
+        if reg == Reg::ErrPop {
+            let _ = self.err_log.pop();
+            return;
+        }
+        self.regs.write(reg, value);
+        let mut budgets = self.regs.budgets();
+        budgets.tiny_total_override = self.cfg.budgets().tiny_total_override;
+        budgets.queue_wait_per_beat = self.cfg.budgets().queue_wait_per_beat;
+        self.write_guard.set_budgets(budgets);
+        self.read_guard.set_budgets(budgets);
+    }
+
+    /// Pass 1: forward manager-driven wires to the subordinate, with
+    /// saturation backpressure in normal operation and full severing
+    /// after a fault.
+    pub fn forward_request(&mut self, mgr: &AxiPort, sub: &mut AxiPort) {
+        if !self.regs.enabled() {
+            sub.forward_request_from(mgr);
+            return;
+        }
+        match self.state {
+            TmuState::Monitoring => {
+                self.stall_aw = self.write_guard.decide_stall(mgr.aw.beat());
+                self.stall_ar = self.read_guard.decide_stall(mgr.ar.beat());
+                if !self.stall_aw {
+                    sub.aw.forward_driver_from(&mgr.aw);
+                }
+                // While residual beats of aborted writes are draining,
+                // every W beat on the wires belongs to a dead burst: the
+                // TMU absorbs them instead of forwarding.
+                if self.w_drain_beats == 0 {
+                    sub.w.forward_driver_from(&mgr.w);
+                }
+                if !self.stall_ar {
+                    sub.ar.forward_driver_from(&mgr.ar);
+                }
+                sub.b.forward_ready_from(&mgr.b);
+                sub.r.forward_ready_from(&mgr.r);
+            }
+            TmuState::Aborting | TmuState::WaitReset => {
+                // Severed: the subordinate port stays idle.
+            }
+        }
+    }
+
+    /// Pass 2: forward subordinate-driven wires to the manager, or drive
+    /// `SLVERR` abort responses while aborting.
+    pub fn forward_response(&mut self, sub: &AxiPort, mgr: &mut AxiPort) {
+        if !self.regs.enabled() {
+            mgr.forward_response_from(sub);
+            return;
+        }
+        match self.state {
+            TmuState::Monitoring => {
+                mgr.b.forward_driver_from(&sub.b);
+                mgr.r.forward_driver_from(&sub.r);
+                if !self.stall_aw {
+                    mgr.aw.forward_ready_from(&sub.aw);
+                }
+                if self.w_drain_beats > 0 {
+                    mgr.w.set_ready(true); // absorb residual dead beats
+                } else {
+                    mgr.w.forward_ready_from(&sub.w);
+                }
+                if !self.stall_ar {
+                    mgr.ar.forward_ready_from(&sub.ar);
+                }
+            }
+            TmuState::Aborting | TmuState::WaitReset => {
+                if self.state == TmuState::Aborting {
+                    if let Some(abort) = self.abort_b.front() {
+                        mgr.b.drive(BBeat::abort(abort.id));
+                    }
+                    if let Some(abort) = self.abort_r.front() {
+                        mgr.r
+                            .drive(RBeat::abort(abort.id, abort.beats_remaining == 1));
+                    }
+                }
+                // A held address beat is accepted by the TMU itself so
+                // the manager can proceed into the aborted phases.
+                if self.accept_aw && mgr.aw.valid() {
+                    mgr.aw.set_ready(true);
+                }
+                if self.accept_ar && mgr.ar.valid() {
+                    mgr.ar.set_ready(true);
+                }
+                // Residual write data of aborted bursts is absorbed.
+                if self.w_drain_beats > 0 {
+                    mgr.w.set_ready(true);
+                }
+                // Otherwise request channels stay unready: new traffic
+                // stalls until the subordinate is reset.
+            }
+        }
+    }
+
+    /// Optional pass between 2 and 3, for harnesses where the manager
+    /// side's B/R `ready` wires settle late (e.g. below an interconnect
+    /// mux): re-propagates them to the subordinate port. Standalone
+    /// harnesses whose manager drives `ready` before
+    /// [`Tmu::forward_request`] don't need it.
+    pub fn backprop_response_ready(&mut self, mgr: &AxiPort, sub: &mut AxiPort) {
+        let forwarding = !self.regs.enabled() || self.state == TmuState::Monitoring;
+        if forwarding {
+            sub.b.forward_ready_from(&mgr.b);
+            sub.r.forward_ready_from(&mgr.r);
+        }
+    }
+
+    /// Pass 3: tap the settled manager-side wires for this `cycle`.
+    pub fn observe(&mut self, mgr: &AxiPort) {
+        if !self.regs.enabled() {
+            return;
+        }
+        self.drain_w_fired = self.w_drain_beats > 0 && mgr.w.fires();
+        self.accept_aw_fired = self.accept_aw && mgr.aw.fires();
+        self.accept_ar_fired = self.accept_ar && mgr.ar.fires();
+        match self.state {
+            TmuState::Monitoring => {
+                if self.w_drain_beats > 0 {
+                    // Drained beats belong to aborted bursts; hide them
+                    // from the guards and the protocol checker.
+                    let mut masked = mgr.clone();
+                    masked.w.suppress_valid();
+                    self.write_guard.observe(&masked);
+                    self.read_guard.observe(&masked);
+                    if self.cfg.check_protocol() && self.regs.prot_check_enabled() {
+                        let violations = self.checker.observe(&masked, self.cycles);
+                        self.pending_violations.extend(violations);
+                    }
+                } else {
+                    self.write_guard.observe(mgr);
+                    self.read_guard.observe(mgr);
+                    if self.cfg.check_protocol() && self.regs.prot_check_enabled() {
+                        let violations = self.checker.observe(mgr, self.cycles);
+                        self.pending_violations.extend(violations);
+                    }
+                }
+            }
+            TmuState::Aborting => {
+                self.abort_b_fired = mgr.b.fires();
+                self.abort_r_fired = mgr.r.fires();
+            }
+            TmuState::WaitReset => {}
+        }
+    }
+
+    /// Pass 4: clock commit for `cycle`.
+    pub fn commit(&mut self, cycle: u64) {
+        self.cycles = cycle + 1;
+        if !self.regs.enabled() {
+            return;
+        }
+        if std::mem::take(&mut self.drain_w_fired) {
+            self.w_drain_beats -= 1;
+        }
+        if std::mem::take(&mut self.accept_aw_fired) {
+            self.accept_aw = false;
+        }
+        if std::mem::take(&mut self.accept_ar_fired) {
+            self.accept_ar = false;
+        }
+        match self.state {
+            TmuState::Monitoring => self.commit_monitoring(cycle),
+            TmuState::Aborting => self.commit_aborting(),
+            TmuState::WaitReset => {}
+        }
+        // A completed reset only re-opens monitoring once the held
+        // address beats have been accepted (they belong to aborted
+        // transactions and must not be re-tracked).
+        if self.state == TmuState::WaitReset
+            && self.reset_completed
+            && !self.accept_aw
+            && !self.accept_ar
+        {
+            self.state = TmuState::Monitoring;
+            self.reset_completed = false;
+        }
+    }
+
+    fn commit_monitoring(&mut self, cycle: u64) {
+        self.write_guard.set_pending_drain(self.w_drain_beats);
+        let mut records: Vec<ErrorRecord> = Vec::new();
+
+        for fault in self
+            .write_guard
+            .commit(cycle, &mut self.perf_log)
+            .into_iter()
+            .chain(self.read_guard.commit(cycle, &mut self.perf_log))
+        {
+            records.push(ErrorRecord {
+                cycle,
+                kind: fault.kind,
+                phase: fault.phase,
+                id: Some(fault.id),
+                addr: Some(fault.addr),
+                inflight_cycles: fault.inflight_cycles,
+            });
+        }
+        for violation in self.pending_violations.drain(..) {
+            records.push(ErrorRecord {
+                cycle,
+                kind: FaultKind::Protocol(violation.rule),
+                phase: None,
+                id: violation.id,
+                addr: None,
+                inflight_cycles: 0,
+            });
+        }
+
+        if records.is_empty() {
+            return;
+        }
+        for record in records {
+            self.trace.record(cycle, "tmu", record.to_string());
+            self.err_log.push(record);
+            self.regs.hw_note_error();
+        }
+
+        self.faults_detected += 1;
+        self.regs.hw_note_fault();
+        if self.regs.irq_enabled() {
+            self.regs.hw_raise_irq();
+        }
+        // Sever and abort: collect every outstanding transaction's
+        // obligations (SLVERR responses, residual W drain, held-address
+        // accepts).
+        let write_set = self.write_guard.drain_for_abort();
+        let read_set = self.read_guard.drain_for_abort();
+        self.abort_b = write_set.responses.into();
+        self.abort_r = read_set.responses.into();
+        self.w_drain_beats += write_set.drain_w_beats;
+        self.accept_aw = write_set.accept_pending_addr;
+        self.accept_ar = read_set.accept_pending_addr;
+        self.checker.flush();
+        self.state = TmuState::Aborting;
+        self.stall_aw = false;
+        self.stall_ar = false;
+        self.trace.record(
+            cycle,
+            "tmu",
+            format!(
+                "severed link: aborting {} writes / {} reads, draining {} residual beats",
+                self.abort_b.len(),
+                self.abort_r.len(),
+                self.w_drain_beats
+            ),
+        );
+    }
+
+    fn commit_aborting(&mut self) {
+        if self.abort_b_fired {
+            self.abort_b.pop_front();
+        }
+        if self.abort_r_fired {
+            if let Some(front) = self.abort_r.front_mut() {
+                front.beats_remaining -= 1;
+                if front.beats_remaining == 0 {
+                    self.abort_r.pop_front();
+                }
+            }
+        }
+        self.abort_b_fired = false;
+        self.abort_r_fired = false;
+        if self.abort_b.is_empty() && self.abort_r.is_empty() {
+            self.reset_request = true;
+            self.resets_requested += 1;
+            self.regs.hw_note_reset();
+            self.state = TmuState::WaitReset;
+            self.trace.record(
+                self.cycles,
+                "tmu",
+                "aborts delivered: requesting subordinate reset",
+            );
+        }
+    }
+
+    /// Consumes the single-cycle reset-request pulse towards the
+    /// external reset unit.
+    pub fn take_reset_request(&mut self) -> bool {
+        std::mem::take(&mut self.reset_request)
+    }
+
+    /// Notification from the external reset unit that the subordinate has
+    /// been reinitialized: monitoring resumes (deferred while a held
+    /// address beat of an aborted transaction is still being accepted).
+    pub fn reset_done(&mut self) {
+        if self.state == TmuState::WaitReset {
+            if self.accept_aw || self.accept_ar {
+                self.reset_completed = true;
+            } else {
+                self.state = TmuState::Monitoring;
+                self.trace
+                    .record(self.cycles, "tmu", "reset complete: monitoring resumed");
+            }
+        }
+    }
+
+    /// Level interrupt towards the CPU (cleared by software via
+    /// [`Reg::IrqStatus`]).
+    #[must_use]
+    pub fn irq_pending(&self) -> bool {
+        self.regs.irq_pending()
+    }
+
+    /// Software clears the interrupt (W1C on the status register).
+    pub fn clear_irq(&mut self) {
+        self.regs.write(Reg::IrqStatus, u32::MAX);
+    }
+
+    /// Outstanding transactions currently tracked (both directions).
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.write_guard.outstanding() + self.read_guard.outstanding()
+    }
+
+    /// Residual W beats of aborted writes still being absorbed
+    /// (diagnostics; nonzero only around a recovery).
+    #[must_use]
+    pub fn drain_beats_pending(&self) -> u64 {
+        self.w_drain_beats
+    }
+
+    /// The error log.
+    #[must_use]
+    pub fn error_log(&self) -> &ErrorLog {
+        &self.err_log
+    }
+
+    /// Timestamped lifecycle trace (fault, sever, abort-complete, reset,
+    /// resume events) — the narrative counterpart of the error log.
+    #[must_use]
+    pub fn trace(&self) -> &EventTrace {
+        &self.trace
+    }
+
+    /// The performance log (per-phase detail in Full-Counter mode).
+    #[must_use]
+    pub fn perf_log(&self) -> &PerfLog {
+        &self.perf_log
+    }
+
+    /// The most recent fault record, if any.
+    #[must_use]
+    pub fn last_fault(&self) -> Option<&ErrorRecord> {
+        self.err_log.last()
+    }
+
+    /// Fault events detected (each may carry several log records).
+    #[must_use]
+    pub fn faults_detected(&self) -> u64 {
+        self.faults_detected
+    }
+
+    /// Reset requests issued to the external reset unit.
+    #[must_use]
+    pub fn resets_requested(&self) -> u64 {
+        self.resets_requested
+    }
+
+    /// The counter variant this instance monitors with.
+    #[must_use]
+    pub fn variant(&self) -> TmuVariant {
+        self.cfg.variant()
+    }
+
+    /// Diagnostic access to the write guard.
+    #[must_use]
+    pub fn write_guard(&self) -> &WriteGuard {
+        &self.write_guard
+    }
+
+    /// Diagnostic access to the read guard.
+    #[must_use]
+    pub fn read_guard(&self) -> &ReadGuard {
+        &self.read_guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::phase::{TxnPhase, WritePhase};
+    use axi4::prelude::*;
+
+    /// A perfectly behaved in-test subordinate: accepts addresses and
+    /// data immediately, responds after a fixed delay, optionally
+    /// "breaks" (stops responding entirely) at a given cycle.
+    #[derive(Debug, Default)]
+    struct TestSub {
+        // (id, beats_left) of writes in data phase, in AW order.
+        w_inflight: std::collections::VecDeque<(u16, u16)>,
+        // write responses owed: (id, cycles until valid)
+        b_queue: std::collections::VecDeque<(u16, u32)>,
+        // read bursts owed: (id, beats_left, warmup)
+        r_queue: std::collections::VecDeque<(u16, u16, u32)>,
+        broken: bool,
+    }
+
+    impl TestSub {
+        fn drive(&mut self, port: &mut AxiPort) {
+            if self.broken {
+                return; // total stall: no ready, no valid
+            }
+            port.aw.set_ready(true);
+            port.ar.set_ready(true);
+            port.w.set_ready(!self.w_inflight.is_empty());
+            if let Some((id, delay)) = self.b_queue.front() {
+                if *delay == 0 {
+                    port.b.drive(BBeat::new(AxiId(*id), Resp::Okay));
+                }
+            }
+            if let Some((id, beats_left, warmup)) = self.r_queue.front() {
+                if *warmup == 0 {
+                    port.r
+                        .drive(RBeat::new(AxiId(*id), 7, Resp::Okay, *beats_left == 1));
+                }
+            }
+        }
+
+        fn commit(&mut self, port: &AxiPort) {
+            if let Some(aw) = port.aw.fired_beat() {
+                self.w_inflight.push_back((aw.id.0, aw.len.beats()));
+            }
+            if port.w.fires() {
+                if let Some(front) = self.w_inflight.front_mut() {
+                    front.1 -= 1;
+                    if front.1 == 0 {
+                        let (id, _) = self.w_inflight.pop_front().unwrap();
+                        self.b_queue.push_back((id, 2));
+                    }
+                }
+            }
+            if port.b.fires() {
+                self.b_queue.pop_front();
+            }
+            if let Some(ar) = port.ar.fired_beat() {
+                self.r_queue.push_back((ar.id.0, ar.len.beats(), 2));
+            }
+            if port.r.fires() {
+                if let Some(front) = self.r_queue.front_mut() {
+                    front.1 -= 1;
+                    if front.1 == 0 {
+                        self.r_queue.pop_front();
+                    }
+                }
+            }
+            for item in self.b_queue.iter_mut() {
+                item.1 = item.1.saturating_sub(1);
+            }
+            if let Some(front) = self.r_queue.front_mut() {
+                front.2 = front.2.saturating_sub(1);
+            }
+        }
+    }
+
+    /// A scripted manager driving one write then one read.
+    #[derive(Debug)]
+    struct TestMgr {
+        write: Option<WriteTxn>,
+        read: Option<ReadTxn>,
+        w_sent: u16,
+        aw_done: bool,
+        ar_done: bool,
+        b_seen: Option<Resp>,
+        r_beats: u16,
+        r_done: bool,
+        r_error: bool,
+    }
+
+    impl TestMgr {
+        fn new(write: Option<WriteTxn>, read: Option<ReadTxn>) -> Self {
+            TestMgr {
+                write,
+                read,
+                w_sent: 0,
+                aw_done: false,
+                ar_done: false,
+                b_seen: None,
+                r_beats: 0,
+                r_done: false,
+                r_error: false,
+            }
+        }
+
+        fn drive(&mut self, port: &mut AxiPort) {
+            if let Some(wr) = &self.write {
+                if !self.aw_done {
+                    port.aw.drive(wr.aw_beat());
+                }
+                // AXI forbids cancelling an issued burst: data keeps
+                // flowing even after an (abort) response arrived.
+                if self.aw_done && self.w_sent < wr.beats() {
+                    port.w.drive(wr.w_beat(self.w_sent));
+                }
+            }
+            if let Some(rd) = &self.read {
+                if !self.ar_done {
+                    port.ar.drive(rd.ar_beat());
+                }
+            }
+            port.b.set_ready(true);
+            port.r.set_ready(true);
+        }
+
+        fn commit(&mut self, port: &AxiPort) {
+            if port.aw.fires() {
+                self.aw_done = true;
+            }
+            if port.w.fires() {
+                self.w_sent += 1;
+            }
+            if let Some(b) = port.b.fired_beat() {
+                self.b_seen = Some(b.resp);
+            }
+            if port.ar.fires() {
+                self.ar_done = true;
+            }
+            if let Some(r) = port.r.fired_beat() {
+                self.r_beats += 1;
+                if r.resp.is_error() {
+                    self.r_error = true;
+                }
+                if r.last {
+                    self.r_done = true;
+                }
+            }
+        }
+    }
+
+    fn cfg(variant: TmuVariant) -> TmuConfig {
+        TmuConfig::builder()
+            .variant(variant)
+            .max_uniq_ids(4)
+            .txn_per_id(4)
+            .build()
+            .unwrap()
+    }
+
+    /// Runs the full pipeline for `cycles` cycles.
+    fn run(tmu: &mut Tmu, mgr: &mut TestMgr, sub: &mut TestSub, cycles: u64, start: u64) -> u64 {
+        let mut mgr_port = AxiPort::new();
+        let mut sub_port = AxiPort::new();
+        for n in start..start + cycles {
+            mgr_port.begin_cycle();
+            sub_port.begin_cycle();
+            mgr.drive(&mut mgr_port);
+            tmu.forward_request(&mgr_port, &mut sub_port);
+            sub.drive(&mut sub_port);
+            tmu.forward_response(&sub_port, &mut mgr_port);
+            tmu.observe(&mgr_port);
+            mgr.commit(&mgr_port);
+            sub.commit(&sub_port);
+            tmu.commit(n);
+        }
+        start + cycles
+    }
+
+    fn write_txn(id: u16, beats: u16) -> WriteTxn {
+        TxnBuilder::new(AxiId(id), Addr(0x1000))
+            .incr(beats)
+            .write((0..beats as u64).collect())
+            .unwrap()
+    }
+
+    fn read_txn(id: u16, beats: u16) -> ReadTxn {
+        TxnBuilder::new(AxiId(id), Addr(0x2000))
+            .incr(beats)
+            .read()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_write_and_read_complete_without_faults() {
+        for variant in [TmuVariant::TinyCounter, TmuVariant::FullCounter] {
+            let mut tmu = Tmu::new(cfg(variant));
+            let mut mgr = TestMgr::new(Some(write_txn(1, 4)), Some(read_txn(2, 4)));
+            let mut sub = TestSub::default();
+            run(&mut tmu, &mut mgr, &mut sub, 60, 0);
+            assert_eq!(
+                mgr.b_seen,
+                Some(Resp::Okay),
+                "{variant}: write must complete"
+            );
+            assert!(mgr.r_done, "{variant}: read must complete");
+            assert!(!mgr.r_error);
+            assert_eq!(tmu.faults_detected(), 0, "{variant}");
+            assert!(!tmu.irq_pending());
+            assert_eq!(tmu.outstanding(), 0);
+            assert_eq!(tmu.perf_log().writes(), 1);
+            assert_eq!(tmu.perf_log().reads(), 1);
+        }
+    }
+
+    #[test]
+    fn fc_records_per_phase_latencies() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::FullCounter));
+        let mut mgr = TestMgr::new(Some(write_txn(1, 4)), None);
+        let mut sub = TestSub::default();
+        run(&mut tmu, &mut mgr, &mut sub, 60, 0);
+        let rec = tmu.perf_log().iter_recent().next().expect("one record");
+        assert!(rec.is_write);
+        assert_eq!(rec.beats, 4);
+        let burst = rec.write_phase(WritePhase::BurstTransfer);
+        assert!(burst >= 3, "4 beats need >= 4 cycles of burst, got {burst}");
+        assert!(rec.total_cycles >= 6);
+    }
+
+    #[test]
+    fn broken_subordinate_triggers_timeout_irq_and_reset() {
+        for variant in [TmuVariant::TinyCounter, TmuVariant::FullCounter] {
+            let mut tmu = Tmu::new(cfg(variant));
+            let mut mgr = TestMgr::new(Some(write_txn(1, 4)), None);
+            let mut sub = TestSub {
+                broken: true,
+                ..TestSub::default()
+            };
+            let end = run(&mut tmu, &mut mgr, &mut sub, 400, 0);
+            assert_eq!(tmu.faults_detected(), 1, "{variant}");
+            assert!(tmu.irq_pending(), "{variant}");
+            let fault = tmu.last_fault().expect("fault logged").clone();
+            assert_eq!(fault.kind, FaultKind::Timeout);
+            match variant {
+                TmuVariant::FullCounter => {
+                    assert_eq!(fault.phase, Some(TxnPhase::Write(WritePhase::AwHandshake)));
+                }
+                TmuVariant::TinyCounter => assert_eq!(fault.phase, None),
+            }
+            // The manager got an SLVERR abort for its outstanding write.
+            assert_eq!(mgr.b_seen, Some(Resp::SlvErr), "{variant}");
+            // The reset request fired.
+            assert!(tmu.take_reset_request(), "{variant}");
+            assert!(!tmu.take_reset_request(), "pulse consumed");
+            assert_eq!(tmu.state(), TmuState::WaitReset);
+            // Recovery: reset completes, a healthy transaction succeeds.
+            tmu.reset_done();
+            assert_eq!(tmu.state(), TmuState::Monitoring);
+            let mut mgr2 = TestMgr::new(Some(write_txn(1, 2)), None);
+            let mut sub2 = TestSub::default();
+            run(&mut tmu, &mut mgr2, &mut sub2, 60, end);
+            assert_eq!(
+                mgr2.b_seen,
+                Some(Resp::Okay),
+                "{variant}: post-reset traffic works"
+            );
+            assert_eq!(tmu.faults_detected(), 1, "{variant}: no new fault");
+        }
+    }
+
+    #[test]
+    fn fc_detects_earlier_than_tc() {
+        let mut latencies = Vec::new();
+        for variant in [TmuVariant::FullCounter, TmuVariant::TinyCounter] {
+            let mut tmu = Tmu::new(cfg(variant));
+            let mut mgr = TestMgr::new(Some(write_txn(1, 64)), None);
+            let mut sub = TestSub {
+                broken: true,
+                ..TestSub::default()
+            };
+            run(&mut tmu, &mut mgr, &mut sub, 1000, 0);
+            latencies.push(tmu.last_fault().expect("fault").cycle);
+        }
+        assert!(
+            latencies[0] < latencies[1],
+            "Fc ({}) must detect before Tc ({})",
+            latencies[0],
+            latencies[1]
+        );
+    }
+
+    #[test]
+    fn aborted_read_drains_remaining_beats_with_slverr() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::FullCounter));
+        let mut mgr = TestMgr::new(None, Some(read_txn(3, 4)));
+        let mut sub = TestSub {
+            broken: true,
+            ..TestSub::default()
+        };
+        run(&mut tmu, &mut mgr, &mut sub, 400, 0);
+        assert!(mgr.r_error, "SLVERR beats delivered");
+        assert!(mgr.r_done, "last abort beat carries RLAST");
+        assert_eq!(mgr.r_beats, 4, "all four owed beats drained");
+    }
+
+    #[test]
+    fn protocol_violation_triggers_fault() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::FullCounter));
+        // Hand-drive a W beat with no AW: W_NO_AW violation.
+        let mut mgr_port = AxiPort::new();
+        let mut sub_port = AxiPort::new();
+        mgr_port.begin_cycle();
+        sub_port.begin_cycle();
+        mgr_port.w.drive(WBeat::new(1, true));
+        tmu.forward_request(&mgr_port, &mut sub_port);
+        sub_port.w.set_ready(true);
+        tmu.forward_response(&sub_port, &mut mgr_port);
+        tmu.observe(&mgr_port);
+        tmu.commit(0);
+        assert_eq!(tmu.faults_detected(), 1);
+        assert!(matches!(
+            tmu.last_fault().unwrap().kind,
+            FaultKind::Protocol(_)
+        ));
+        assert_eq!(tmu.state(), TmuState::Aborting);
+    }
+
+    #[test]
+    fn disabled_tmu_is_transparent() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::TinyCounter));
+        tmu.write_reg(Reg::Ctrl, 0); // disable
+        let mut mgr = TestMgr::new(Some(write_txn(1, 4)), None);
+        let mut sub = TestSub {
+            broken: true,
+            ..TestSub::default()
+        };
+        run(&mut tmu, &mut mgr, &mut sub, 400, 0);
+        assert_eq!(tmu.faults_detected(), 0, "disabled TMU must not monitor");
+        assert_eq!(mgr.b_seen, None, "stall passes through unmodified");
+    }
+
+    #[test]
+    fn saturation_backpressure_stalls_new_ids() {
+        // 1 unique ID x 1 txn: the second write with a different ID must
+        // wait until the first completes, then proceed.
+        let cfg = TmuConfig::builder()
+            .max_uniq_ids(1)
+            .txn_per_id(1)
+            .build()
+            .unwrap();
+        let mut tmu = Tmu::new(cfg);
+        let mut mgr1 = TestMgr::new(Some(write_txn(1, 2)), None);
+        let mut sub = TestSub::default();
+        // Issue first write partially: run a couple of cycles.
+        let mut mgr_port = AxiPort::new();
+        let mut sub_port = AxiPort::new();
+        // Drive the first write a few cycles to occupy the single slot.
+        for cycle in 0..3u64 {
+            mgr_port.begin_cycle();
+            sub_port.begin_cycle();
+            mgr1.drive(&mut mgr_port);
+            tmu.forward_request(&mgr_port, &mut sub_port);
+            sub.drive(&mut sub_port);
+            tmu.forward_response(&sub_port, &mut mgr_port);
+            tmu.observe(&mgr_port);
+            mgr1.commit(&mgr_port);
+            sub.commit(&sub_port);
+            tmu.commit(cycle);
+        }
+        assert_eq!(tmu.outstanding(), 1);
+        // A new AW with a different ID would stall (slots exhausted).
+        let other = write_txn(2, 1).aw_beat();
+        let mut probe_port = AxiPort::new();
+        probe_port.begin_cycle();
+        probe_port.aw.drive(other);
+        let mut probe_sub = AxiPort::new();
+        probe_sub.begin_cycle();
+        tmu.forward_request(&probe_port, &mut probe_sub);
+        assert!(
+            !probe_sub.aw.valid(),
+            "stalled AW must not reach the subordinate"
+        );
+    }
+
+    #[test]
+    fn err_count_register_reflects_log() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::TinyCounter));
+        assert_eq!(tmu.read_reg(Reg::ErrCount), 0);
+        let mut mgr = TestMgr::new(Some(write_txn(1, 2)), None);
+        let mut sub = TestSub {
+            broken: true,
+            ..TestSub::default()
+        };
+        run(&mut tmu, &mut mgr, &mut sub, 400, 0);
+        assert!(tmu.read_reg(Reg::ErrCount) >= 1);
+        assert_eq!(tmu.read_reg(Reg::FaultCount), 1);
+        assert_eq!(tmu.read_reg(Reg::ResetCount), 1);
+    }
+
+    #[test]
+    fn lifecycle_trace_tells_the_recovery_story() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::FullCounter));
+        let mut mgr = TestMgr::new(Some(write_txn(1, 4)), None);
+        let mut sub = TestSub {
+            broken: true,
+            ..TestSub::default()
+        };
+        run(&mut tmu, &mut mgr, &mut sub, 400, 0);
+        tmu.reset_done();
+        tmu.commit(401);
+        let lines: Vec<String> = tmu.trace().iter().map(ToString::to_string).collect();
+        let all = lines.join("\n");
+        assert!(all.contains("timeout"), "{all}");
+        assert!(all.contains("severed link"), "{all}");
+        assert!(all.contains("requesting subordinate reset"), "{all}");
+        assert!(all.contains("monitoring resumed"), "{all}");
+    }
+
+    #[test]
+    fn error_log_readable_and_poppable_via_registers() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::FullCounter));
+        let mut mgr = TestMgr::new(Some(write_txn(5, 2)), None);
+        let mut sub = TestSub {
+            broken: true,
+            ..TestSub::default()
+        };
+        run(&mut tmu, &mut mgr, &mut sub, 400, 0);
+        assert!(tmu.read_reg(Reg::ErrCount) >= 1);
+        let info = tmu.read_reg(Reg::ErrHeadInfo);
+        assert_eq!(info >> 24, 1, "kind code: timeout");
+        assert_eq!((info >> 16) & 0xFF, 1, "phase code: AW-handshake");
+        assert_eq!(info & 0xFFFF, 5, "raw AXI ID");
+        let cycle = tmu.read_reg(Reg::ErrHeadCycle);
+        assert!(cycle > 0 && u64::from(cycle) < 400);
+        // Pop drains the log.
+        let before = tmu.read_reg(Reg::ErrCount);
+        tmu.write_reg(Reg::ErrPop, 1);
+        assert_eq!(tmu.read_reg(Reg::ErrCount), before - 1);
+        // Empty log reads as zero.
+        while tmu.read_reg(Reg::ErrCount) > 0 {
+            tmu.write_reg(Reg::ErrPop, 1);
+        }
+        assert_eq!(tmu.read_reg(Reg::ErrHeadInfo), 0);
+        assert_eq!(tmu.read_reg(Reg::ErrHeadCycle), 0);
+    }
+
+    #[test]
+    fn clear_irq_after_software_handling() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::TinyCounter));
+        let mut mgr = TestMgr::new(Some(write_txn(1, 2)), None);
+        let mut sub = TestSub {
+            broken: true,
+            ..TestSub::default()
+        };
+        run(&mut tmu, &mut mgr, &mut sub, 400, 0);
+        assert!(tmu.irq_pending());
+        tmu.clear_irq();
+        assert!(!tmu.irq_pending());
+    }
+
+    #[test]
+    fn guards_stay_consistent_through_traffic() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::FullCounter));
+        let mut mgr = TestMgr::new(Some(write_txn(1, 8)), Some(read_txn(2, 8)));
+        let mut sub = TestSub::default();
+        let mut mgr_port = AxiPort::new();
+        let mut sub_port = AxiPort::new();
+        for n in 0..80 {
+            mgr_port.begin_cycle();
+            sub_port.begin_cycle();
+            mgr.drive(&mut mgr_port);
+            tmu.forward_request(&mgr_port, &mut sub_port);
+            sub.drive(&mut sub_port);
+            tmu.forward_response(&sub_port, &mut mgr_port);
+            tmu.observe(&mgr_port);
+            mgr.commit(&mgr_port);
+            sub.commit(&sub_port);
+            tmu.commit(n);
+            tmu.write_guard().assert_consistent();
+            tmu.read_guard().assert_consistent();
+        }
+    }
+}

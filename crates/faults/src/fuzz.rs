@@ -1,0 +1,166 @@
+//! Seeded random fault-plan generation for fuzz campaigns.
+//!
+//! The paper validates the TMU by "injecting random failures at key AXI
+//! transaction stages". [`FuzzPlanner`] produces a reproducible stream of
+//! [`FaultPlan`]s from a seed, optionally restricted to the write-side or
+//! read-side class lists.
+
+use rand::RngCore;
+use sim::SimRng;
+
+use crate::plan::{Duration, FaultClass, FaultPlan, Trigger};
+
+/// Which fault classes a fuzz campaign draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzScope {
+    /// The six write-side classes of Fig. 9.
+    Writes,
+    /// The four read-side classes.
+    Reads,
+    /// All ten classes.
+    All,
+}
+
+/// Reproducible random fault-plan generator.
+///
+/// ```
+/// use faults::fuzz::{FuzzPlanner, FuzzScope};
+///
+/// let mut a = FuzzPlanner::new(7, FuzzScope::All, 0..1000);
+/// let mut b = FuzzPlanner::new(7, FuzzScope::All, 0..1000);
+/// assert_eq!(a.next_plan(), b.next_plan(), "same seed, same stream");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuzzPlanner {
+    rng: SimRng,
+    scope: FuzzScope,
+    cycle_window: std::ops::Range<u64>,
+}
+
+impl FuzzPlanner {
+    /// A planner drawing trigger cycles uniformly from `cycle_window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_window` is empty.
+    #[must_use]
+    pub fn new(seed: u64, scope: FuzzScope, cycle_window: std::ops::Range<u64>) -> Self {
+        assert!(!cycle_window.is_empty(), "cycle window must be nonempty");
+        FuzzPlanner {
+            rng: SimRng::seed(seed).split("fault-fuzz"),
+            scope,
+            cycle_window,
+        }
+    }
+
+    fn classes(&self) -> &'static [FaultClass] {
+        match self.scope {
+            FuzzScope::Writes => &FaultClass::WRITE_CLASSES,
+            FuzzScope::Reads => &FaultClass::READ_CLASSES,
+            FuzzScope::All => &FaultClass::ALL,
+        }
+    }
+
+    /// Draws the next random plan.
+    pub fn next_plan(&mut self) -> FaultPlan {
+        let class = *self.rng.pick(self.classes());
+        let at = self
+            .rng
+            .between(self.cycle_window.start, self.cycle_window.end - 1);
+        let trigger = match class {
+            FaultClass::MidBurstStall => Trigger::AfterWBeats(self.rng.between(1, 16)),
+            FaultClass::RMidBurstStall => Trigger::AfterRBeats(self.rng.between(1, 16)),
+            _ => Trigger::AtCycle(at),
+        };
+        let duration = if self.rng.chance(0.2) {
+            Duration::Cycles(self.rng.between(1, 64))
+        } else {
+            Duration::UntilReset
+        };
+        FaultPlan {
+            class,
+            trigger,
+            duration,
+        }
+    }
+
+    /// Draws `n` plans.
+    pub fn plans(&mut self, n: usize) -> Vec<FaultPlan> {
+        (0..n).map(|_| self.next_plan()).collect()
+    }
+
+    /// Exposes the underlying RNG for harnesses that need correlated
+    /// draws (e.g. picking the victim transaction).
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = FuzzPlanner::new(1, FuzzScope::All, 0..100).plans(20);
+        let b = FuzzPlanner::new(1, FuzzScope::All, 0..100).plans(20);
+        assert_eq!(a, b);
+        let c = FuzzPlanner::new(2, FuzzScope::All, 0..100).plans(20);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn scope_restricts_classes() {
+        let plans = FuzzPlanner::new(3, FuzzScope::Writes, 0..100).plans(50);
+        assert!(plans
+            .iter()
+            .all(|p| FaultClass::WRITE_CLASSES.contains(&p.class)));
+        let plans = FuzzPlanner::new(3, FuzzScope::Reads, 0..100).plans(50);
+        assert!(plans
+            .iter()
+            .all(|p| FaultClass::READ_CLASSES.contains(&p.class)));
+    }
+
+    #[test]
+    fn triggers_respect_window() {
+        let plans = FuzzPlanner::new(4, FuzzScope::All, 10..20).plans(100);
+        for p in plans {
+            if let Trigger::AtCycle(n) = p.trigger {
+                assert!((10..20).contains(&n), "cycle {n} outside window");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_burst_classes_use_beat_triggers() {
+        let plans = FuzzPlanner::new(5, FuzzScope::All, 0..100).plans(200);
+        for p in plans {
+            match p.class {
+                FaultClass::MidBurstStall => {
+                    assert!(matches!(p.trigger, Trigger::AfterWBeats(_)));
+                }
+                FaultClass::RMidBurstStall => {
+                    assert!(matches!(p.trigger, Trigger::AfterRBeats(_)));
+                }
+                _ => assert!(matches!(p.trigger, Trigger::AtCycle(_))),
+            }
+        }
+    }
+
+    #[test]
+    fn eventually_draws_every_class() {
+        let plans = FuzzPlanner::new(6, FuzzScope::All, 0..100).plans(500);
+        for class in FaultClass::ALL {
+            assert!(
+                plans.iter().any(|p| p.class == class),
+                "{class} never drawn"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_window_rejected() {
+        let _ = FuzzPlanner::new(0, FuzzScope::All, 5..5);
+    }
+}

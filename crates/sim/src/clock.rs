@@ -1,0 +1,227 @@
+//! Cycle counting and reset-line modelling.
+
+use std::fmt;
+
+/// The simulation clock: a monotonically increasing cycle counter.
+///
+/// One `Clock` instance is shared (by reference) with every drive pass of
+/// a cycle; it advances exactly once per cycle via [`Clock::advance`],
+/// which harnesses call at commit time.
+///
+/// ```
+/// use sim::Clock;
+/// let mut clk = Clock::new();
+/// assert_eq!(clk.cycle(), 0);
+/// clk.advance();
+/// assert_eq!(clk.cycle(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Clock {
+    cycle: u64,
+}
+
+impl Clock {
+    /// A clock at cycle zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Clock { cycle: 0 }
+    }
+
+    /// The current cycle number (0-based).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Commits one clock edge.
+    pub fn advance(&mut self) {
+        self.cycle += 1;
+    }
+
+    /// Cycles elapsed since `earlier` (saturating at zero if `earlier` is
+    /// in the future).
+    #[must_use]
+    pub fn since(&self, earlier: u64) -> u64 {
+        self.cycle.saturating_sub(earlier)
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.cycle)
+    }
+}
+
+/// A hardware reset line with a programmable assertion duration.
+///
+/// Mirrors the external reset unit the TMU signals to reinitialize a
+/// faulty subordinate: a request asserts the line for `duration` cycles,
+/// after which [`Reset::is_done_pulse`] reports completion for one cycle.
+///
+/// ```
+/// use sim::Reset;
+/// let mut rst = Reset::with_duration(2);
+/// assert!(!rst.is_asserted());
+/// rst.request();
+/// assert!(rst.is_asserted());
+/// rst.tick();
+/// assert!(rst.is_asserted());
+/// rst.tick();
+/// assert!(!rst.is_asserted());
+/// assert!(rst.is_done_pulse());
+/// rst.tick();
+/// assert!(!rst.is_done_pulse());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reset {
+    duration: u64,
+    remaining: u64,
+    done_pulse: bool,
+    /// Total reset requests served (for reporting).
+    requests: u64,
+}
+
+impl Reset {
+    /// Default reset assertion length, in cycles.
+    pub const DEFAULT_DURATION: u64 = 8;
+
+    /// A reset line with the default duration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_duration(Self::DEFAULT_DURATION)
+    }
+
+    /// A reset line asserting for `duration` cycles per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero.
+    #[must_use]
+    pub fn with_duration(duration: u64) -> Self {
+        assert!(duration > 0, "reset duration must be at least one cycle");
+        Reset {
+            duration,
+            remaining: 0,
+            done_pulse: false,
+            requests: 0,
+        }
+    }
+
+    /// Requests a reset. If one is already in progress the request merges
+    /// into it (the line simply stays asserted).
+    pub fn request(&mut self) {
+        if self.remaining == 0 {
+            self.requests += 1;
+        }
+        self.remaining = self.duration;
+        self.done_pulse = false;
+    }
+
+    /// True while the reset line is asserted.
+    #[must_use]
+    pub fn is_asserted(&self) -> bool {
+        self.remaining > 0
+    }
+
+    /// True for exactly one cycle after the reset deasserts.
+    #[must_use]
+    pub fn is_done_pulse(&self) -> bool {
+        self.done_pulse
+    }
+
+    /// Number of reset requests served so far.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Advances one cycle (call at commit time).
+    pub fn tick(&mut self) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            self.done_pulse = self.remaining == 0;
+        } else {
+            self.done_pulse = false;
+        }
+    }
+}
+
+impl Default for Reset {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_measures() {
+        let mut clk = Clock::new();
+        for _ in 0..5 {
+            clk.advance();
+        }
+        assert_eq!(clk.cycle(), 5);
+        assert_eq!(clk.since(2), 3);
+        assert_eq!(clk.since(10), 0, "future reference saturates");
+        assert_eq!(clk.to_string(), "cycle 5");
+    }
+
+    #[test]
+    fn reset_full_lifecycle() {
+        let mut rst = Reset::with_duration(3);
+        rst.request();
+        assert_eq!(rst.requests(), 1);
+        let mut asserted = 0;
+        while rst.is_asserted() {
+            asserted += 1;
+            rst.tick();
+            assert!(asserted < 100, "reset never completed");
+        }
+        assert_eq!(asserted, 3);
+        assert!(rst.is_done_pulse());
+        rst.tick();
+        assert!(!rst.is_done_pulse());
+    }
+
+    #[test]
+    fn reset_merge_extends_assertion() {
+        let mut rst = Reset::with_duration(4);
+        rst.request();
+        rst.tick();
+        rst.tick();
+        rst.request(); // merge: restart countdown, no new request counted
+        assert_eq!(rst.requests(), 1);
+        let mut remaining = 0;
+        while rst.is_asserted() {
+            remaining += 1;
+            rst.tick();
+        }
+        assert_eq!(remaining, 4);
+    }
+
+    #[test]
+    fn second_request_after_done_counts() {
+        let mut rst = Reset::with_duration(1);
+        rst.request();
+        rst.tick();
+        rst.request();
+        assert_eq!(rst.requests(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_duration_rejected() {
+        let _ = Reset::with_duration(0);
+    }
+
+    #[test]
+    fn idle_reset_never_pulses() {
+        let mut rst = Reset::new();
+        for _ in 0..10 {
+            rst.tick();
+            assert!(!rst.is_done_pulse());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The per-cycle simulation loop.
+
+use crate::clock::Clock;
+
+/// Result of a [`Simulation`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Cycles actually simulated by this run.
+    pub cycles: u64,
+    /// True if the step closure reported its stop condition before the
+    /// cycle limit.
+    pub condition_met: bool,
+}
+
+/// Drives a step closure once per cycle and advances the clock.
+///
+/// The closure receives the clock *before* the commit of the cycle it is
+/// simulating (so `clock.cycle()` is the index of the current cycle) and
+/// returns `true` to stop.
+///
+/// A `Simulation` can be run multiple times; the clock keeps counting
+/// across runs, which is how scenario scripts chain phases:
+///
+/// ```
+/// use sim::Simulation;
+/// let mut simulation = Simulation::new();
+/// simulation.run(10, |_| {});
+/// let outcome = simulation.run(5, |_| {});
+/// assert_eq!(outcome.cycles, 5);
+/// assert_eq!(simulation.clock().cycle(), 15);
+/// ```
+#[derive(Debug, Default)]
+pub struct Simulation {
+    clock: Clock,
+}
+
+impl Simulation {
+    /// A simulation at cycle zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulation {
+            clock: Clock::new(),
+        }
+    }
+
+    /// The simulation clock.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Runs exactly `cycles` cycles, calling `step` each cycle.
+    pub fn run(&mut self, cycles: u64, mut step: impl FnMut(&Clock)) -> RunOutcome {
+        for _ in 0..cycles {
+            step(&self.clock);
+            self.clock.advance();
+        }
+        RunOutcome {
+            cycles,
+            condition_met: false,
+        }
+    }
+
+    /// Runs until `step` returns `true` or `max_cycles` elapse, whichever
+    /// comes first. The cycle on which the condition is reported is
+    /// counted (and committed).
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut step: impl FnMut(&Clock) -> bool,
+    ) -> RunOutcome {
+        for n in 0..max_cycles {
+            let done = step(&self.clock);
+            self.clock.advance();
+            if done {
+                return RunOutcome {
+                    cycles: n + 1,
+                    condition_met: true,
+                };
+            }
+        }
+        RunOutcome {
+            cycles: max_cycles,
+            condition_met: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_steps_exact_count() {
+        let mut count = 0;
+        let mut simulation = Simulation::new();
+        let outcome = simulation.run(7, |_| count += 1);
+        assert_eq!(count, 7);
+        assert_eq!(outcome.cycles, 7);
+        assert!(!outcome.condition_met);
+    }
+
+    #[test]
+    fn run_until_stops_on_condition() {
+        let mut simulation = Simulation::new();
+        let outcome = simulation.run_until(100, |clk| clk.cycle() == 4);
+        assert!(outcome.condition_met);
+        assert_eq!(outcome.cycles, 5, "cycle 4 is the fifth simulated cycle");
+        assert_eq!(simulation.clock().cycle(), 5);
+    }
+
+    #[test]
+    fn run_until_respects_limit() {
+        let mut simulation = Simulation::new();
+        let outcome = simulation.run_until(10, |_| false);
+        assert!(!outcome.condition_met);
+        assert_eq!(outcome.cycles, 10);
+    }
+
+    #[test]
+    fn clock_persists_across_runs() {
+        let mut simulation = Simulation::new();
+        simulation.run(3, |_| {});
+        simulation.run_until(3, |_| false);
+        assert_eq!(simulation.clock().cycle(), 6);
+    }
+
+    #[test]
+    fn step_sees_preadvance_cycle() {
+        let mut seen = Vec::new();
+        let mut simulation = Simulation::new();
+        simulation.run(3, |clk| seen.push(clk.cycle()));
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Bounded event tracing.
+//!
+//! Components push timestamped [`Event`]s into an [`EventTrace`]; tests
+//! and debug dumps read them back. The trace is a ring buffer so
+//! long-running simulations never grow unbounded.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One timestamped trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation cycle at which the event occurred.
+    pub cycle: u64,
+    /// Component that emitted it (static so emitting is allocation-light).
+    pub source: &'static str,
+    /// Event description.
+    pub message: String,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>8}] {:<12} {}",
+            self.cycle, self.source, self.message
+        )
+    }
+}
+
+/// Ring buffer of [`Event`]s with a fixed capacity.
+///
+/// ```
+/// use sim::EventTrace;
+/// let mut trace = EventTrace::with_capacity(2);
+/// trace.record(0, "tmu", "enable");
+/// trace.record(5, "tmu", "timeout");
+/// trace.record(6, "tmu", "reset");
+/// assert_eq!(trace.len(), 2); // oldest evicted
+/// assert!(trace.iter().any(|e| e.message == "reset"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventTrace {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A trace with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A trace holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be nonzero");
+        EventTrace {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, cycle: u64, source: &'static str, message: impl Into<String>) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            cycle,
+            source,
+            message: message.into(),
+        });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to capacity pressure.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drops all retained events (eviction counter is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Events from `source`, oldest first.
+    pub fn from_source<'a>(&'a self, source: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.source == source)
+    }
+}
+
+impl fmt::Display for EventTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for event in &self.events {
+            writeln!(f, "{event}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "... ({} earlier events dropped)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut trace = EventTrace::new();
+        trace.record(1, "a", "first");
+        trace.record(2, "b", "second");
+        let v: Vec<_> = trace.iter().map(|e| e.cycle).collect();
+        assert_eq!(v, vec![1, 2]);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn evicts_oldest_and_counts() {
+        let mut trace = EventTrace::with_capacity(3);
+        for n in 0..5 {
+            trace.record(n, "x", format!("e{n}"));
+        }
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.dropped(), 2);
+        assert_eq!(trace.iter().next().unwrap().cycle, 2);
+    }
+
+    #[test]
+    fn filters_by_source() {
+        let mut trace = EventTrace::new();
+        trace.record(0, "tmu", "x");
+        trace.record(1, "eth", "y");
+        trace.record(2, "tmu", "z");
+        assert_eq!(trace.from_source("tmu").count(), 2);
+        assert_eq!(trace.from_source("eth").count(), 1);
+        assert_eq!(trace.from_source("nope").count(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_dropped_counter() {
+        let mut trace = EventTrace::with_capacity(1);
+        trace.record(0, "a", "1");
+        trace.record(1, "a", "2");
+        trace.clear();
+        assert!(trace.is_empty());
+        assert_eq!(trace.dropped(), 1);
+    }
+
+    #[test]
+    fn display_includes_drop_note() {
+        let mut trace = EventTrace::with_capacity(1);
+        trace.record(0, "a", "1");
+        trace.record(1, "a", "2");
+        let s = trace.to_string();
+        assert!(s.contains("earlier events dropped"));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = EventTrace::with_capacity(0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Minimal value-change-dump (VCD) writer.
+//!
+//! Lets any behavioural model dump boolean and vector signals in the
+//! standard IEEE-1364 VCD format readable by GTKWave & friends — handy
+//! when debugging handshake timing in the TMU models.
+//!
+//! The writer buffers in memory and renders the full document with
+//! [`VcdWriter::render`]; callers decide where to put the bytes
+//! (C-RW-VALUE: pass any `io::Write`).
+//!
+//! # Example
+//!
+//! ```
+//! use sim::VcdWriter;
+//!
+//! let mut vcd = VcdWriter::new("tmu_test");
+//! let valid = vcd.add_wire("aw_valid");
+//! let count = vcd.add_vector("counter", 8);
+//! vcd.change_wire(0, valid, true);
+//! vcd.change_vector(0, count, 0);
+//! vcd.change_vector(1, count, 5);
+//! vcd.change_wire(2, valid, false);
+//! let text = vcd.render();
+//! assert!(text.contains("$var wire 1"));
+//! assert!(text.contains("#2"));
+//! ```
+
+use std::fmt::Write as _;
+
+/// Handle for a declared VCD signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(usize);
+
+#[derive(Debug, Clone)]
+struct Signal {
+    name: String,
+    width: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Change {
+    Wire { time: u64, id: usize, value: bool },
+    Vector { time: u64, id: usize, value: u64 },
+}
+
+/// In-memory VCD document builder.
+///
+/// Signals must be declared (via [`add_wire`](Self::add_wire) /
+/// [`add_vector`](Self::add_vector)) before changes are recorded; changes
+/// must be recorded in non-decreasing time order.
+#[derive(Debug, Clone)]
+pub struct VcdWriter {
+    module: String,
+    signals: Vec<Signal>,
+    changes: Vec<Change>,
+    last_time: u64,
+}
+
+impl VcdWriter {
+    /// Starts a document whose scope is named `module`.
+    #[must_use]
+    pub fn new(module: impl Into<String>) -> Self {
+        VcdWriter {
+            module: module.into(),
+            signals: Vec::new(),
+            changes: Vec::new(),
+            last_time: 0,
+        }
+    }
+
+    /// Declares a 1-bit wire.
+    pub fn add_wire(&mut self, name: impl Into<String>) -> SignalId {
+        self.signals.push(Signal {
+            name: name.into(),
+            width: 1,
+        });
+        SignalId(self.signals.len() - 1)
+    }
+
+    /// Declares a vector signal of `width` bits (`2..=64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `2..=64`.
+    pub fn add_vector(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        assert!((2..=64).contains(&width), "vector width must be 2..=64");
+        self.signals.push(Signal {
+            name: name.into(),
+            width,
+        });
+        SignalId(self.signals.len() - 1)
+    }
+
+    fn check_time(&mut self, time: u64) {
+        assert!(
+            time >= self.last_time,
+            "VCD changes must be recorded in non-decreasing time order"
+        );
+        self.last_time = time;
+    }
+
+    /// Records a 1-bit change at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` names a vector signal or `time` goes backwards.
+    pub fn change_wire(&mut self, time: u64, id: SignalId, value: bool) {
+        assert_eq!(self.signals[id.0].width, 1, "signal is not a 1-bit wire");
+        self.check_time(time);
+        self.changes.push(Change::Wire {
+            time,
+            id: id.0,
+            value,
+        });
+    }
+
+    /// Records a vector change at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` names a 1-bit wire or `time` goes backwards.
+    pub fn change_vector(&mut self, time: u64, id: SignalId, value: u64) {
+        assert!(
+            self.signals[id.0].width > 1,
+            "signal is a 1-bit wire, use change_wire"
+        );
+        self.check_time(time);
+        self.changes.push(Change::Vector {
+            time,
+            id: id.0,
+            value,
+        });
+    }
+
+    fn code(index: usize) -> String {
+        // Printable identifier codes: ! .. ~ per signal, multi-char beyond.
+        let alphabet = 94usize;
+        let mut idx = index;
+        let mut out = String::new();
+        loop {
+            out.push((b'!' + (idx % alphabet) as u8) as char);
+            idx /= alphabet;
+            if idx == 0 {
+                break;
+            }
+            idx -= 1;
+        }
+        out
+    }
+
+    /// Renders the complete VCD document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1ns $end\n");
+        let _ = writeln!(out, "$scope module {} $end", self.module);
+        for (i, sig) in self.signals.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                sig.width,
+                Self::code(i),
+                sig.name
+            );
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut current_time: Option<u64> = None;
+        for change in &self.changes {
+            let (time, line) = match change {
+                Change::Wire { time, id, value } => {
+                    (*time, format!("{}{}", u8::from(*value), Self::code(*id)))
+                }
+                Change::Vector { time, id, value } => {
+                    (*time, format!("b{value:b} {}", Self::code(*id)))
+                }
+            };
+            if current_time != Some(time) {
+                let _ = writeln!(out, "#{time}");
+                current_time = Some(time);
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the rendered document to `writer`. A `&mut` reference to any
+    /// writer can be passed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `writer`.
+    pub fn write_to<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writer.write_all(self.render().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_changes() {
+        let mut vcd = VcdWriter::new("top");
+        let v = vcd.add_wire("valid");
+        let c = vcd.add_vector("cnt", 4);
+        vcd.change_wire(0, v, true);
+        vcd.change_vector(3, c, 0b1010);
+        let text = vcd.render();
+        assert!(text.contains("$scope module top $end"));
+        assert!(text.contains("$var wire 1 ! valid $end"));
+        assert!(text.contains("$var wire 4 \" cnt $end"));
+        assert!(text.contains("#0\n1!"));
+        assert!(text.contains("#3\nb1010 \""));
+    }
+
+    #[test]
+    fn groups_same_time_changes() {
+        let mut vcd = VcdWriter::new("top");
+        let a = vcd.add_wire("a");
+        let b = vcd.add_wire("b");
+        vcd.change_wire(5, a, true);
+        vcd.change_wire(5, b, false);
+        let text = vcd.render();
+        assert_eq!(text.matches("#5").count(), 1);
+    }
+
+    #[test]
+    fn identifier_codes_unique_for_many_signals() {
+        let mut vcd = VcdWriter::new("top");
+        let mut codes = std::collections::HashSet::new();
+        for i in 0..200 {
+            vcd.add_wire(format!("s{i}"));
+            assert!(codes.insert(VcdWriter::code(i)), "duplicate code at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn time_going_backwards_panics() {
+        let mut vcd = VcdWriter::new("top");
+        let a = vcd.add_wire("a");
+        vcd.change_wire(5, a, true);
+        vcd.change_wire(4, a, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a 1-bit wire")]
+    fn wire_change_on_vector_panics() {
+        let mut vcd = VcdWriter::new("top");
+        let c = vcd.add_vector("c", 8);
+        vcd.change_wire(0, c, true);
+    }
+
+    #[test]
+    fn write_to_accepts_mut_ref() {
+        let mut vcd = VcdWriter::new("top");
+        let a = vcd.add_wire("a");
+        vcd.change_wire(0, a, true);
+        let mut buf = Vec::new();
+        vcd.write_to(&mut buf).unwrap();
+        assert!(!buf.is_empty());
+    }
+}

@@ -1,0 +1,367 @@
+//! An N-to-1 AXI multiplexer with ID-width extension.
+//!
+//! Merges several managers onto one trunk port. Each manager's
+//! transaction IDs are extended with the manager index
+//! (`id' = id | (index << id_shift)`), the standard interconnect trick
+//! that keeps response routing trivial and preserves per-manager ID
+//! ordering. Address-channel arbitration is round-robin and sticky (a
+//! selected-but-unfired request keeps its grant so the trunk sees stable
+//! wires); W beats strictly follow the AW grant order, as AXI requires.
+//!
+//! # Per-cycle protocol
+//!
+//! 1. [`Mux::forward_requests`] after the managers drive,
+//! 2. [`Mux::forward_responses`] after the trunk's response wires settle,
+//! 3. [`Mux::commit`] at the clock edge.
+
+use std::collections::VecDeque;
+
+use axi4::prelude::*;
+
+/// The multiplexer. See the [module docs](self).
+#[derive(Debug)]
+pub struct Mux {
+    n: usize,
+    id_shift: u32,
+    aw_lock: Option<usize>,
+    aw_rr: usize,
+    ar_lock: Option<usize>,
+    ar_rr: usize,
+    /// Manager index per accepted AW, in order — routes W beats.
+    w_grant: VecDeque<usize>,
+    // Per-cycle selections.
+    cur_aw: Option<usize>,
+    cur_ar: Option<usize>,
+    cur_b_dst: Option<usize>,
+    cur_r_dst: Option<usize>,
+}
+
+impl Mux {
+    /// A mux for `n` managers, extending IDs at bit `id_shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or does not fit above `id_shift` in the
+    /// 16-bit ID space.
+    #[must_use]
+    pub fn new(n: usize, id_shift: u32) -> Self {
+        assert!(n > 0, "mux needs at least one manager");
+        assert!(
+            id_shift < 16 && (n as u32 - 1) << id_shift <= u32::from(u16::MAX),
+            "manager index must fit in the ID above id_shift"
+        );
+        Mux {
+            n,
+            id_shift,
+            aw_lock: None,
+            aw_rr: 0,
+            ar_lock: None,
+            ar_rr: 0,
+            w_grant: VecDeque::new(),
+            cur_aw: None,
+            cur_ar: None,
+            cur_b_dst: None,
+            cur_r_dst: None,
+        }
+    }
+
+    /// Extends `id` with the manager `index`.
+    #[must_use]
+    pub fn extend_id(&self, index: usize, id: AxiId) -> AxiId {
+        AxiId(id.0 | ((index as u16) << self.id_shift))
+    }
+
+    /// Splits an extended ID into `(manager index, original id)`.
+    #[must_use]
+    pub fn split_id(&self, id: AxiId) -> (usize, AxiId) {
+        let index = usize::from(id.0 >> self.id_shift);
+        let mask = (1u16 << self.id_shift) - 1;
+        (index, AxiId(id.0 & mask))
+    }
+
+    fn arbitrate(
+        lock: &mut Option<usize>,
+        rr: usize,
+        n: usize,
+        valid: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        if let Some(locked) = lock {
+            if valid(*locked) {
+                return Some(*locked);
+            }
+            *lock = None;
+        }
+        (0..n).map(|k| (rr + k) % n).find(|&i| valid(i))
+    }
+
+    /// Pass 1: arbitrate the managers' request wires onto the trunk.
+    pub fn forward_requests(&mut self, mgrs: &[AxiPort], trunk: &mut AxiPort) {
+        assert_eq!(mgrs.len(), self.n, "manager port count mismatch");
+        // AW arbitration (sticky).
+        self.cur_aw = Self::arbitrate(&mut self.aw_lock, self.aw_rr, self.n, |i| {
+            mgrs[i].aw.valid()
+        });
+        if let Some(i) = self.cur_aw {
+            let mut beat = *mgrs[i].aw.beat().expect("arbitrated valid");
+            beat.id = self.extend_id(i, beat.id);
+            trunk.aw.drive(beat);
+        }
+        // W beats from the front granted manager.
+        if let Some(&grant) = self.w_grant.front() {
+            trunk.w.forward_driver_from(&mgrs[grant].w);
+        }
+        // AR arbitration (sticky).
+        self.cur_ar = Self::arbitrate(&mut self.ar_lock, self.ar_rr, self.n, |i| {
+            mgrs[i].ar.valid()
+        });
+        if let Some(i) = self.cur_ar {
+            let mut beat = *mgrs[i].ar.beat().expect("arbitrated valid");
+            beat.id = self.extend_id(i, beat.id);
+            trunk.ar.drive(beat);
+        }
+    }
+
+    /// Pass 2: route trunk responses back to their managers (by ID high
+    /// bits) and propagate `ready`s in both directions.
+    pub fn forward_responses(&mut self, trunk: &mut AxiPort, mgrs: &mut [AxiPort]) {
+        assert_eq!(mgrs.len(), self.n, "manager port count mismatch");
+        // Request readys to the granted managers only.
+        if let Some(i) = self.cur_aw {
+            mgrs[i].aw.set_ready(trunk.aw.ready());
+        }
+        if let Some(&grant) = self.w_grant.front() {
+            mgrs[grant].w.set_ready(trunk.w.ready());
+        }
+        if let Some(i) = self.cur_ar {
+            mgrs[i].ar.set_ready(trunk.ar.ready());
+        }
+        // B routing.
+        self.cur_b_dst = None;
+        if let Some(b) = trunk.b.beat() {
+            let (index, orig) = self.split_id(b.id);
+            if index < self.n {
+                let mut beat = *b;
+                beat.id = orig;
+                mgrs[index].b.drive(beat);
+                trunk.b.set_ready(mgrs[index].b.ready());
+                self.cur_b_dst = Some(index);
+            }
+        }
+        // R routing.
+        self.cur_r_dst = None;
+        if let Some(r) = trunk.r.beat() {
+            let (index, orig) = self.split_id(r.id);
+            if index < self.n {
+                let mut beat = *r;
+                beat.id = orig;
+                mgrs[index].r.drive(beat);
+                trunk.r.set_ready(mgrs[index].r.ready());
+                self.cur_r_dst = Some(index);
+            }
+        }
+    }
+
+    /// Pass 3: clock commit — grant bookkeeping from trunk fires.
+    pub fn commit(&mut self, trunk: &AxiPort) {
+        if trunk.aw.fires() {
+            let granted = self.cur_aw.take().expect("AW fired implies grant");
+            self.w_grant.push_back(granted);
+            self.aw_lock = None;
+            self.aw_rr = (granted + 1) % self.n;
+        } else if self.cur_aw.is_some() {
+            self.aw_lock = self.cur_aw;
+        }
+        if let Some(w) = trunk.w.fired_beat() {
+            if w.last {
+                self.w_grant.pop_front().expect("W fired implies grant");
+            }
+        }
+        if trunk.ar.fires() {
+            let granted = self.cur_ar.take().expect("AR fired implies grant");
+            self.ar_lock = None;
+            self.ar_rr = (granted + 1) % self.n;
+        } else if self.cur_ar.is_some() {
+            self.ar_lock = self.cur_ar;
+        }
+        self.cur_aw = None;
+        self.cur_ar = None;
+        self.cur_b_dst = None;
+        self.cur_r_dst = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aw(id: u16, addr: u64) -> AwBeat {
+        AwBeat::new(
+            AxiId(id),
+            Addr(addr),
+            BurstLen::SINGLE,
+            BurstSize::from_bytes(8).unwrap(),
+            BurstKind::Incr,
+        )
+    }
+
+    fn ports(n: usize) -> Vec<AxiPort> {
+        (0..n)
+            .map(|_| {
+                let mut p = AxiPort::new();
+                p.begin_cycle();
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn id_extension_roundtrip() {
+        let mux = Mux::new(2, 12);
+        let ext = mux.extend_id(1, AxiId(0x3));
+        assert_eq!(ext, AxiId(0x1003));
+        assert_eq!(mux.split_id(ext), (1, AxiId(0x3)));
+        assert_eq!(mux.split_id(AxiId(0x7)), (0, AxiId(0x7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in the ID")]
+    fn too_many_managers_rejected() {
+        let _ = Mux::new(32, 15);
+    }
+
+    #[test]
+    fn single_manager_passes_through() {
+        let mut mux = Mux::new(1, 12);
+        let mut mgrs = ports(1);
+        let mut trunk = AxiPort::new();
+        trunk.begin_cycle();
+        mgrs[0].aw.drive(aw(5, 0x100));
+        mux.forward_requests(&mgrs, &mut trunk);
+        assert_eq!(trunk.aw.beat().unwrap().id, AxiId(5));
+        trunk.aw.set_ready(true);
+        mux.forward_responses(&mut trunk, &mut mgrs);
+        assert!(mgrs[0].aw.fires());
+        mux.commit(&trunk);
+    }
+
+    #[test]
+    fn arbitration_grants_one_and_sticks() {
+        let mut mux = Mux::new(2, 12);
+        let mut trunk = AxiPort::new();
+        // Both managers request; trunk never ready: grant must stick.
+        let mut first = None;
+        for round in 0..3 {
+            let mut mgrs = ports(2);
+            trunk.begin_cycle();
+            mgrs[0].aw.drive(aw(1, 0x0));
+            mgrs[1].aw.drive(aw(1, 0x8));
+            mux.forward_requests(&mgrs, &mut trunk);
+            let sel = trunk.aw.beat().unwrap().addr;
+            match first {
+                None => first = Some(sel),
+                Some(prev) => assert_eq!(sel, prev, "round {round}: grant must stick"),
+            }
+            mux.forward_responses(&mut trunk, &mut mgrs);
+            mux.commit(&trunk);
+        }
+    }
+
+    #[test]
+    fn round_robin_alternates_after_fires() {
+        let mut mux = Mux::new(2, 12);
+        let mut trunk = AxiPort::new();
+        let mut served = Vec::new();
+        for _ in 0..4 {
+            let mut mgrs = ports(2);
+            trunk.begin_cycle();
+            mgrs[0].aw.drive(aw(1, 0x0));
+            mgrs[1].aw.drive(aw(1, 0x8));
+            mux.forward_requests(&mgrs, &mut trunk);
+            trunk.aw.set_ready(true);
+            mux.forward_responses(&mut trunk, &mut mgrs);
+            served.push(trunk.aw.beat().unwrap().addr.0);
+            // Consume the W beat owed so w_grant does not grow unbounded.
+            mux.commit(&trunk);
+            let mut mgrs2 = ports(2);
+            trunk.begin_cycle();
+            let granted = if served.last() == Some(&0x0) { 0 } else { 1 };
+            mgrs2[granted].w.drive(WBeat::new(0, true));
+            mux.forward_requests(&mgrs2, &mut trunk);
+            trunk.w.set_ready(true);
+            mux.forward_responses(&mut trunk, &mut mgrs2);
+            mux.commit(&trunk);
+        }
+        assert!(
+            served.windows(2).all(|w| w[0] != w[1]),
+            "alternation: {served:?}"
+        );
+    }
+
+    #[test]
+    fn w_beats_follow_grant_order() {
+        let mut mux = Mux::new(2, 12);
+        let mut trunk = AxiPort::new();
+        // Manager 0's AW fires first, then manager 1's.
+        for turn in 0..2usize {
+            let mut mgrs = ports(2);
+            trunk.begin_cycle();
+            mgrs[turn].aw.drive(aw(1, 0x10 * turn as u64));
+            mux.forward_requests(&mgrs, &mut trunk);
+            trunk.aw.set_ready(true);
+            mux.forward_responses(&mut trunk, &mut mgrs);
+            mux.commit(&trunk);
+        }
+        // Both drive W; only manager 0's beat is taken first.
+        let mut mgrs = ports(2);
+        trunk.begin_cycle();
+        mgrs[0].w.drive(WBeat::new(0xAA, true));
+        mgrs[1].w.drive(WBeat::new(0xBB, true));
+        mux.forward_requests(&mgrs, &mut trunk);
+        assert_eq!(trunk.w.beat().unwrap().data, 0xAA);
+        trunk.w.set_ready(true);
+        mux.forward_responses(&mut trunk, &mut mgrs);
+        assert!(mgrs[0].w.ready());
+        assert!(!mgrs[1].w.ready());
+        mux.commit(&trunk);
+        // Now manager 1's W flows.
+        let mut mgrs = ports(2);
+        trunk.begin_cycle();
+        mgrs[1].w.drive(WBeat::new(0xBB, true));
+        mux.forward_requests(&mgrs, &mut trunk);
+        assert_eq!(trunk.w.beat().unwrap().data, 0xBB);
+    }
+
+    #[test]
+    fn responses_route_by_id_high_bits() {
+        let mut mux = Mux::new(2, 12);
+        let mut trunk = AxiPort::new();
+        let mut mgrs = ports(2);
+        trunk.begin_cycle();
+        mgrs[1].b.set_ready(true);
+        trunk.b.drive(BBeat::new(AxiId(0x1002), Resp::Okay));
+        mux.forward_requests(&mgrs, &mut trunk);
+        mux.forward_responses(&mut trunk, &mut mgrs);
+        assert!(!mgrs[0].b.valid());
+        let b = mgrs[1].b.beat().expect("routed to manager 1");
+        assert_eq!(b.id, AxiId(2), "original ID restored");
+        assert!(trunk.b.ready(), "manager 1's ready propagated");
+    }
+
+    #[test]
+    fn r_routing_restores_id() {
+        let mut mux = Mux::new(2, 12);
+        let mut trunk = AxiPort::new();
+        let mut mgrs = ports(2);
+        trunk.begin_cycle();
+        mgrs[0].r.set_ready(true);
+        trunk
+            .r
+            .drive(RBeat::new(AxiId(0x0003), 9, Resp::Okay, true));
+        mux.forward_requests(&mgrs, &mut trunk);
+        mux.forward_responses(&mut trunk, &mut mgrs);
+        let r = mgrs[0].r.beat().expect("routed to manager 0");
+        assert_eq!(r.id, AxiId(3));
+        assert!(trunk.r.ready());
+        assert!(!mgrs[1].r.valid());
+    }
+}

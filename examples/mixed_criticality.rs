@@ -1,0 +1,78 @@
+//! Mixed-criticality deployment (paper §IV, last paragraph): a
+//! safety-critical peripheral gets a Full-Counter TMU, a cost-sensitive
+//! one gets a Tiny-Counter with a prescaler — "tailoring overhead and
+//! detection granularity to each subordinate's requirements".
+//!
+//! The same fault is injected into both links; the example contrasts
+//! detection latency, fault localization and modelled silicon area.
+//!
+//! ```text
+//! cargo run --example mixed_criticality
+//! ```
+
+use axi_tmu::faults::{FaultClass, FaultPlan, Trigger};
+use axi_tmu::gf12_area::model::tmu_area;
+use axi_tmu::soc::link::GuardedLink;
+use axi_tmu::soc::manager::TrafficPattern;
+use axi_tmu::soc::memory::MemSub;
+use axi_tmu::tmu::{TmuConfig, TmuVariant};
+
+fn pattern() -> TrafficPattern {
+    TrafficPattern {
+        write_ratio: 1.0,
+        burst_lens: vec![32],
+        ids: vec![1],
+        addr_base: 0x1000,
+        addr_span: 1,
+        max_outstanding: 1,
+        issue_gap: 8,
+        total_txns: None,
+        verify_data: false,
+    }
+}
+
+fn run_one(name: &str, cfg: TmuConfig) -> Result<(), Box<dyn std::error::Error>> {
+    let area = tmu_area(&cfg, 256);
+    let mut link = GuardedLink::new(pattern(), cfg, MemSub::default(), 99);
+    link.inject(FaultPlan::new(
+        FaultClass::BValidSuppress,
+        Trigger::AtCycle(100),
+    ));
+    let detected = link.run_until(50_000, |l| l.tmu.faults_detected() > 0);
+    assert!(detected, "{name}: fault must be detected");
+    let latency = link.detection_latency().expect("measurable");
+    let fault = link.tmu.last_fault().expect("logged");
+    println!("{name}");
+    println!("  modelled area:      {:>7.0} um2", area.total_um2());
+    println!("  detection latency:  {latency:>7} cycles after injection");
+    match fault.phase {
+        Some(phase) => println!("  localized to phase: {phase}"),
+        None => println!("  localized to phase: - (transaction-level only)"),
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Same B-channel fault on two differently guarded subordinates:\n");
+    run_one(
+        "critical subordinate - Full-Counter, no prescaler:",
+        TmuConfig::builder()
+            .variant(TmuVariant::FullCounter)
+            .max_uniq_ids(4)
+            .txn_per_id(4)
+            .build()?,
+    )?;
+    println!();
+    run_one(
+        "cost-sensitive subordinate - Tiny-Counter + prescaler 32:",
+        TmuConfig::builder()
+            .variant(TmuVariant::TinyCounter)
+            .max_uniq_ids(4)
+            .txn_per_id(4)
+            .prescaler(32)
+            .build()?,
+    )?;
+    println!("\nBoth links recover; the Fc instance pinpoints the failing phase within");
+    println!("its budget, the Tc+Pre instance trades latency and detail for area.");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Performance profiling with the Full-Counter's per-phase logs (paper
+//! §II-H: "captures latency metrics, identifies bottlenecks").
+//!
+//! A paced Ethernet-like peripheral is driven with frames; the TMU's
+//! performance log then shows exactly which transaction phase dominates
+//! latency — the burst-transfer phase, throttled by the line-rate pacing.
+//!
+//! ```text
+//! cargo run --example perf_profiling
+//! ```
+
+use axi_tmu::soc::ethernet::{EthConfig, EthSub};
+use axi_tmu::soc::link::GuardedLink;
+use axi_tmu::soc::manager::TrafficPattern;
+use axi_tmu::tmu::phase::WritePhase;
+use axi_tmu::tmu::{TmuConfig, TmuVariant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = TmuConfig::builder()
+        .variant(TmuVariant::FullCounter)
+        .max_uniq_ids(4)
+        .txn_per_id(4)
+        .build()?;
+    // Heavy pacing: the wire only accepts one beat every third cycle.
+    let eth = EthSub::new(EthConfig {
+        pace_on: 1,
+        pace_off: 2,
+        ..EthConfig::default()
+    });
+    let traffic = TrafficPattern {
+        write_ratio: 1.0,
+        burst_lens: vec![16, 32, 64],
+        ids: vec![0, 1],
+        addr_base: 0x0,
+        addr_span: 0x800,
+        max_outstanding: 2,
+        issue_gap: 4,
+        total_txns: Some(100),
+        verify_data: false,
+    };
+    let mut link = GuardedLink::new(traffic, cfg, eth, 0xFACE);
+    assert!(
+        link.run_until(200_000, |l| l.mgr.is_done()),
+        "traffic completes"
+    );
+    assert_eq!(link.tmu.faults_detected(), 0, "healthy run");
+
+    let perf = link.tmu.perf_log();
+    println!(
+        "Completed {} writes, {} bytes moved.\n",
+        perf.writes(),
+        perf.bytes()
+    );
+    println!("Per-phase write latency (cycles):");
+    for phase in WritePhase::ALL {
+        let h = perf.write_phase_latency(phase);
+        println!("  {:<16} {}", phase.to_string(), h);
+    }
+    println!("\nTotal latency: {}", perf.total_latency());
+    let (bottleneck, mean) = perf.write_bottleneck().expect("data recorded");
+    println!("Bottleneck phase: '{bottleneck}' at {mean:.1} cycles mean");
+    assert_eq!(
+        bottleneck,
+        WritePhase::BurstTransfer,
+        "pacing throttles the data burst, so it must dominate"
+    );
+    println!("\n=> the line-rate pacing of the peripheral dominates transaction latency,");
+    println!("   exactly what the Fc performance log is for (paper SII-H).");
+    Ok(())
+}

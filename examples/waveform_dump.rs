@@ -1,0 +1,53 @@
+//! Dump a VCD waveform of the TMU's manager-side wires around a fault
+//! and its recovery — open the result with GTKWave to watch the
+//! handshakes, the SLVERR abort and the post-reset resumption.
+//!
+//! ```text
+//! cargo run --example waveform_dump
+//! gtkwave tmu_fault.vcd
+//! ```
+
+use axi_tmu::faults::{FaultClass, FaultPlan, Trigger};
+use axi_tmu::soc::link::GuardedLink;
+use axi_tmu::soc::manager::TrafficPattern;
+use axi_tmu::soc::memory::MemSub;
+use axi_tmu::tmu::{TmuConfig, TmuVariant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = TmuConfig::builder()
+        .variant(TmuVariant::FullCounter)
+        .build()?;
+    let traffic = TrafficPattern {
+        write_ratio: 1.0,
+        burst_lens: vec![8],
+        ids: vec![1],
+        addr_base: 0x1000,
+        addr_span: 0x100,
+        max_outstanding: 1,
+        issue_gap: 6,
+        total_txns: None,
+        verify_data: false,
+    };
+    let mut link = GuardedLink::new(traffic, cfg, MemSub::default(), 0xD1CE);
+    link.attach_probe();
+    link.inject(FaultPlan::new(
+        FaultClass::BValidSuppress,
+        Trigger::AtCycle(60),
+    ));
+
+    // Healthy traffic, the fault, the abort, the reset, the resumption.
+    link.run(400);
+    assert_eq!(link.tmu.faults_detected(), 1);
+
+    let probe = link.probe().expect("probe attached");
+    let path = "tmu_fault.vcd";
+    probe.write_to(std::fs::File::create(path)?)?;
+    println!(
+        "wrote {path}: {} sampled cycles, {} bytes",
+        probe.samples(),
+        std::fs::metadata(path)?.len()
+    );
+    println!("fault record: {}", link.tmu.last_fault().expect("fault"));
+    println!("open with: gtkwave {path}");
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the reproduction of *"Towards Reliable Systems: A
+//! Scalable Approach to AXI4 Transaction Monitoring"* (DATE 2025).
+//!
+//! This crate re-exports the workspace members so that the examples under
+//! `examples/` and the integration tests under `tests/` can exercise the
+//! whole stack through one import:
+//!
+//! * [`axi4`] — the AXI4 protocol model (channels, bursts, checker).
+//! * [`sim`] — the deterministic cycle-based simulation kernel.
+//! * [`tmu`] — the paper's contribution: the Transaction Monitoring Unit.
+//! * [`faults`] — signal-level fault injection.
+//! * [`soc`] — the Cheshire-like system substrate (Fig. 10).
+//! * [`gf12_area`] — the calibrated GF12 area model (Figs. 7 & 8).
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`, or run:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+pub use axi4;
+pub use faults;
+pub use gf12_area;
+pub use sim;
+pub use soc;
+pub use tmu;

@@ -1,0 +1,110 @@
+//! Integration: the experiment harness reproduces the paper's headline
+//! claims end to end (the quantitative counterpart of `EXPERIMENTS.md`).
+
+use axi_tmu::gf12_area::cells::calibration_report;
+use tmu::TmuVariant;
+use tmu_bench::experiments::{ablation_budgets, ablation_remapper, ablation_sticky, fig7, fig8};
+
+#[test]
+fn headline_anchor_areas_within_tolerance() {
+    for (anchor, modelled, err) in calibration_report() {
+        assert!(
+            err.abs() < 0.15,
+            "{:?}@{}: modelled {:.0} vs paper {:.0} ({:+.1}%)",
+            anchor.variant,
+            anchor.max_uniq_ids * anchor.txn_per_id as usize,
+            modelled,
+            anchor.reported_um2,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn headline_tc_area_fraction_of_fc() {
+    // Paper: "On average, Tc requires about 38% of Fc's area."
+    let rows = fig7(&[1, 2, 4, 8, 16, 32]);
+    let mean_ratio: f64 = rows.iter().map(|r| r.tc_um2 / r.fc_um2).sum::<f64>() / rows.len() as f64;
+    assert!(
+        (0.30..0.55).contains(&mean_ratio),
+        "mean Tc/Fc ratio {mean_ratio:.2} far from the paper's ~0.38"
+    );
+}
+
+#[test]
+fn headline_prescaler_savings_direction_and_magnitude() {
+    // Paper: prescalers save 18-39% (Tc) and 19-32% (Fc). Our structural
+    // model lands in the 9-25% band with the same shape (bigger savings
+    // at larger capacities); assert the direction and a sane magnitude.
+    let rows = fig7(&[4, 8, 16, 32]);
+    for r in rows {
+        let tc_save = (r.tc_um2 - r.tc_pre_um2) / r.tc_um2;
+        let fc_save = (r.fc_um2 - r.fc_pre_um2) / r.fc_um2;
+        assert!((0.05..0.45).contains(&tc_save), "Tc saving {tc_save:.2}");
+        assert!((0.05..0.45).contains(&fc_save), "Fc saving {fc_save:.2}");
+    }
+}
+
+#[test]
+fn fig8_pareto_front_shape() {
+    // Larger prescaler: monotonically less area, monotonically more
+    // latency — the Fig. 8 trade-off curve.
+    for variant in [TmuVariant::TinyCounter, TmuVariant::FullCounter] {
+        let points = fig8(variant, &[1, 4, 16, 64]);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].area_um2 < pair[0].area_um2,
+                "{variant:?}: area not shrinking"
+            );
+            assert!(
+                pair[1].latency_sim > pair[0].latency_sim,
+                "{variant:?}: latency not growing"
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_budgets_prevent_false_timeouts() {
+    let r = ablation_budgets();
+    assert_eq!(
+        r.adaptive_false_faults, 0,
+        "adaptive budgets must not false-positive"
+    );
+    assert!(
+        r.fixed_false_faults > 0,
+        "fixed budgets must show the failure the paper motivates"
+    );
+    assert!(
+        r.adaptive_completed >= 40,
+        "all scripted transactions complete"
+    );
+}
+
+#[test]
+fn sticky_bit_tightens_detection_by_one_step() {
+    for row in ablation_sticky(&[4, 16, 64]) {
+        assert_eq!(
+            row.without_sticky - row.with_sticky,
+            row.step,
+            "step {}: sticky must save exactly one prescale period",
+            row.step
+        );
+    }
+}
+
+#[test]
+fn remapper_correct_and_cheaper_than_direct_mapping() {
+    let r = ablation_remapper();
+    assert_eq!(
+        r.completed_with_remap, 60,
+        "all sparse-ID transactions complete"
+    );
+    assert_eq!(r.false_faults, 0, "backpressure, not faults");
+    assert!(
+        r.direct_area_um2 > 10.0 * r.remapped_area_um2,
+        "direct-mapped table must dwarf the remapper ({:.0} vs {:.0})",
+        r.direct_area_um2,
+        r.remapped_area_um2
+    );
+}

@@ -1,0 +1,157 @@
+//! Integration: the Full-Counter performance log's accounting is
+//! self-consistent — per-phase latencies compose into the totals, and
+//! throughput/byte counters match the traffic that actually flowed.
+
+use axi_tmu::soc::link::GuardedLink;
+use axi_tmu::soc::manager::TrafficPattern;
+use axi_tmu::soc::memory::{MemConfig, MemSub};
+use axi_tmu::tmu::phase::{ReadPhase, WritePhase};
+use axi_tmu::tmu::{BudgetConfig, TmuConfig, TmuVariant};
+
+fn run_link(mem: MemConfig, seed: u64) -> GuardedLink<MemSub> {
+    // Budgets generous enough for the slowest memory configurations the
+    // tests use (the subject here is accounting, not detection).
+    let budgets = BudgetConfig {
+        data_entry: 64,
+        resp_wait: 64,
+        // Each queued predecessor can add a full r_warmup of turnaround.
+        queue_wait_per_txn: 32,
+        ..BudgetConfig::default()
+    };
+    let cfg = TmuConfig::builder()
+        .variant(TmuVariant::FullCounter)
+        .max_uniq_ids(4)
+        .txn_per_id(4)
+        .budgets(budgets)
+        .build()
+        .expect("valid");
+    let traffic = TrafficPattern {
+        burst_lens: vec![1, 4, 8, 16],
+        total_txns: Some(80),
+        ..TrafficPattern::default()
+    };
+    let mut link = GuardedLink::new(traffic, cfg, MemSub::new(mem), seed);
+    assert!(link.run_until(100_000, |l| l.mgr.is_done()));
+    assert_eq!(link.tmu.faults_detected(), 0);
+    link
+}
+
+#[test]
+fn phase_latencies_compose_into_totals() {
+    let link = run_link(MemConfig::default(), 31);
+    let perf = link.tmu.perf_log();
+    assert_eq!(perf.writes() + perf.reads(), 80);
+    for rec in perf.iter_recent() {
+        let phase_sum: u64 = if rec.is_write {
+            WritePhase::ALL.iter().map(|p| rec.write_phase(*p)).sum()
+        } else {
+            ReadPhase::ALL.iter().map(|p| rec.read_phase(*p)).sum()
+        };
+        // Phases partition the transaction's lifetime; boundary cycles
+        // can be attributed to either side of a transition, so allow a
+        // one-cycle-per-phase slack.
+        let slack = 6;
+        assert!(
+            phase_sum >= rec.total_cycles.saturating_sub(slack)
+                && phase_sum <= rec.total_cycles + slack,
+            "phases {phase_sum} vs total {} for {:?}",
+            rec.total_cycles,
+            rec
+        );
+    }
+}
+
+#[test]
+fn byte_accounting_matches_traffic() {
+    let link = run_link(MemConfig::default(), 32);
+    let perf = link.tmu.perf_log();
+    let stats = link.mgr.stats();
+    assert_eq!(perf.bytes(), (stats.w_beats + stats.r_beats) * 8);
+}
+
+#[test]
+fn slower_memory_shows_up_in_the_right_phase() {
+    let fast = run_link(
+        MemConfig {
+            b_latency: 0,
+            r_warmup: 0,
+            ..MemConfig::default()
+        },
+        33,
+    );
+    let slow = run_link(
+        MemConfig {
+            b_latency: 24,
+            r_warmup: 0,
+            ..MemConfig::default()
+        },
+        33,
+    );
+    let fast_wait = fast
+        .tmu
+        .perf_log()
+        .write_phase_latency(WritePhase::RespWait)
+        .mean()
+        .expect("writes happened");
+    let slow_wait = slow
+        .tmu
+        .perf_log()
+        .write_phase_latency(WritePhase::RespWait)
+        .mean()
+        .expect("writes happened");
+    assert!(
+        slow_wait > fast_wait + 20.0,
+        "B latency must land in resp-wait: fast {fast_wait:.1}, slow {slow_wait:.1}"
+    );
+    // And nowhere else: the burst phase is unaffected.
+    let fast_burst = fast
+        .tmu
+        .perf_log()
+        .write_phase_latency(WritePhase::BurstTransfer)
+        .mean()
+        .unwrap();
+    let slow_burst = slow
+        .tmu
+        .perf_log()
+        .write_phase_latency(WritePhase::BurstTransfer)
+        .mean()
+        .unwrap();
+    assert!(
+        (slow_burst - fast_burst).abs() < 2.0,
+        "{fast_burst:.1} vs {slow_burst:.1}"
+    );
+}
+
+#[test]
+fn read_warmup_lands_in_data_wait_phase() {
+    let fast = run_link(
+        MemConfig {
+            r_warmup: 0,
+            ..MemConfig::default()
+        },
+        34,
+    );
+    let slow = run_link(
+        MemConfig {
+            r_warmup: 30,
+            ..MemConfig::default()
+        },
+        34,
+    );
+    let fast_wait = fast
+        .tmu
+        .perf_log()
+        .read_phase_latency(ReadPhase::DataWait)
+        .mean()
+        .unwrap();
+    let slow_wait = slow
+        .tmu
+        .perf_log()
+        .read_phase_latency(ReadPhase::DataWait)
+        .mean()
+        .unwrap();
+    assert!(
+        slow_wait > fast_wait + 25.0,
+        "warmup must land in data-wait: fast {fast_wait:.1}, slow {slow_wait:.1}"
+    );
+}

@@ -1,0 +1,112 @@
+//! Property tests: AXI4 burst address arithmetic invariants.
+
+use axi4::burst::{beat_address, beat_addresses, crosses_4k_boundary, wrap_boundary, BOUNDARY_4K};
+use axi4::prelude::*;
+use proptest::prelude::*;
+
+fn any_size() -> impl Strategy<Value = BurstSize> {
+    (0u8..=7).prop_map(|raw| BurstSize::from_raw(raw).expect("0..=7 legal"))
+}
+
+fn wrap_len() -> impl Strategy<Value = BurstLen> {
+    prop_oneof![Just(2u16), Just(4), Just(8), Just(16)]
+        .prop_map(|beats| BurstLen::from_beats(beats).expect("legal wrap length"))
+}
+
+proptest! {
+    /// INCR: consecutive beats are exactly one beat-size apart.
+    #[test]
+    fn incr_steps_are_uniform(start in 0u64..1_000_000, size in any_size(), beats in 1u16..=256) {
+        let len = BurstLen::from_beats(beats).expect("legal");
+        let addrs: Vec<_> = beat_addresses(Addr(start), size, len, BurstKind::Incr).collect();
+        prop_assert_eq!(addrs.len(), usize::from(beats));
+        for pair in addrs.windows(2) {
+            prop_assert_eq!(pair[1].0 - pair[0].0, u64::from(size.bytes()));
+        }
+    }
+
+    /// FIXED: every beat targets the start address.
+    #[test]
+    fn fixed_never_moves(start in 0u64..1_000_000, size in any_size(), beats in 1u16..=256) {
+        let len = BurstLen::from_beats(beats).expect("legal");
+        for addr in beat_addresses(Addr(start), size, len, BurstKind::Fixed) {
+            prop_assert_eq!(addr, Addr(start));
+        }
+    }
+
+    /// WRAP: every beat stays inside the aligned container, the first
+    /// beat is the start address, and each beat address is distinct.
+    #[test]
+    fn wrap_stays_in_container(
+        container_index in 0u64..1024,
+        offset_beats in 0u16..16,
+        size in any_size(),
+        len in wrap_len(),
+    ) {
+        let bytes = u64::from(size.bytes());
+        let container = bytes * u64::from(len.beats());
+        prop_assume!(offset_beats < len.beats());
+        let start = container_index * container + u64::from(offset_beats) * bytes;
+        let lower = wrap_boundary(Addr(start), size, len);
+        prop_assert_eq!(lower.0, container_index * container);
+        let addrs: Vec<_> = beat_addresses(Addr(start), size, len, BurstKind::Wrap).collect();
+        prop_assert_eq!(addrs[0], Addr(start));
+        let mut seen = std::collections::HashSet::new();
+        for addr in &addrs {
+            prop_assert!(addr.0 >= lower.0 && addr.0 < lower.0 + container,
+                "beat {addr} outside [{}, {})", lower.0, lower.0 + container);
+            prop_assert!(seen.insert(addr.0), "duplicate beat address {addr}");
+        }
+    }
+
+    /// The 4 KiB check agrees with a direct page computation for INCR.
+    #[test]
+    fn cross_4k_matches_page_math(start in 0u64..100_000, size in any_size(), beats in 1u16..=256) {
+        let len = BurstLen::from_beats(beats).expect("legal");
+        let last = start + u64::from(size.bytes()) * u64::from(beats) - 1;
+        let expected = start / BOUNDARY_4K != last / BOUNDARY_4K;
+        prop_assert_eq!(crosses_4k_boundary(Addr(start), size, len, BurstKind::Incr), expected);
+    }
+
+    /// Builder-validated transactions never produce 4 KiB-crossing or
+    /// wrap-illegal bursts.
+    #[test]
+    fn builder_only_emits_legal_bursts(
+        id in 0u16..16,
+        start in 0u64..1_000_000,
+        beats in 1u16..=256,
+    ) {
+        let addr = Addr(start & !0x7);
+        if let Ok(rd) = TxnBuilder::new(AxiId(id), addr).size_bytes(8).incr(beats).read() {
+            let beat = rd.ar_beat();
+            prop_assert!(!crosses_4k_boundary(beat.addr, beat.size, beat.len, beat.burst));
+        }
+        // Every accepted wrap burst has a legal length and alignment.
+        if let Ok(rd) = TxnBuilder::new(AxiId(id), addr).size_bytes(8).wrap(beats.min(16)).read() {
+            prop_assert!(rd.ar_beat().len.is_legal_wrap());
+            prop_assert!(rd.ar_beat().addr.is_aligned(8));
+        }
+    }
+
+    /// Beat-address indexing agrees with the iterator for all kinds.
+    #[test]
+    fn indexing_matches_iterator(
+        start_beats in 0u64..4096,
+        size in any_size(),
+        beats in 1u16..=64,
+        kind_sel in 0u8..3,
+    ) {
+        let kind = match kind_sel {
+            0 => BurstKind::Fixed,
+            1 => BurstKind::Incr,
+            _ => BurstKind::Wrap,
+        };
+        let len = BurstLen::from_beats(beats).expect("legal");
+        // Align the start for WRAP sanity.
+        let start = Addr(start_beats * u64::from(size.bytes()));
+        let collected: Vec<_> = beat_addresses(start, size, len, kind).collect();
+        for (i, addr) in collected.iter().enumerate() {
+            prop_assert_eq!(*addr, beat_address(start, size, len, kind, i as u16));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests: the protocol checker accepts arbitrary *legal*
+//! traffic and flags targeted corruptions.
+
+use axi4::prelude::*;
+use proptest::prelude::*;
+
+/// A randomly-shaped legal transaction plan.
+#[derive(Debug, Clone)]
+struct TxnPlan {
+    id: u16,
+    beats: u16,
+    is_write: bool,
+    // Handshake stall lengths, consumed round-robin.
+    stalls: Vec<u8>,
+}
+
+fn txn_plan() -> impl Strategy<Value = TxnPlan> {
+    (
+        0u16..4,
+        1u16..17,
+        any::<bool>(),
+        prop::collection::vec(0u8..4, 1..8),
+    )
+        .prop_map(|(id, beats, is_write, stalls)| TxnPlan {
+            id,
+            beats,
+            is_write,
+            stalls,
+        })
+}
+
+/// Drives one legal transaction through a checker, cycle by cycle, with
+/// random-but-legal handshake stalls (valid held until ready).
+fn drive_legal(chk: &mut ProtocolChecker, cycle: &mut u64, plan: &TxnPlan) {
+    let mut stall_iter = plan.stalls.iter().cycle();
+    let mut stall = |count: &mut u8| {
+        if *count == 0 {
+            *count = *stall_iter.next().expect("cycle iterator");
+            true
+        } else {
+            *count -= 1;
+            false
+        }
+    };
+    let addr = Addr(0x1_0000 * u64::from(plan.id + 1));
+    let len = BurstLen::from_beats(plan.beats).expect("1..=16 beats");
+    let size = BurstSize::from_bytes(8).expect("legal size");
+    if plan.is_write {
+        let aw = AwBeat::new(AxiId(plan.id), addr, len, size, BurstKind::Incr);
+        // AW with stalls.
+        let mut s = 0u8;
+        loop {
+            let mut port = AxiPort::new();
+            port.begin_cycle();
+            port.aw.drive(aw);
+            let ready = stall(&mut s);
+            port.aw.set_ready(ready);
+            let v = chk.observe(&port, *cycle);
+            assert!(v.is_empty(), "legal AW flagged: {v:?}");
+            *cycle += 1;
+            if ready {
+                break;
+            }
+        }
+        // Data beats with stalls.
+        for beat in 0..plan.beats {
+            let w = WBeat::new(u64::from(beat), beat + 1 == plan.beats);
+            let mut s = 0u8;
+            loop {
+                let mut port = AxiPort::new();
+                port.begin_cycle();
+                port.w.drive(w);
+                let ready = stall(&mut s);
+                port.w.set_ready(ready);
+                let v = chk.observe(&port, *cycle);
+                assert!(v.is_empty(), "legal W flagged: {v:?}");
+                *cycle += 1;
+                if ready {
+                    break;
+                }
+            }
+        }
+        // Response.
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        port.b.drive(BBeat::new(AxiId(plan.id), Resp::Okay));
+        port.b.set_ready(true);
+        let v = chk.observe(&port, *cycle);
+        assert!(v.is_empty(), "legal B flagged: {v:?}");
+        *cycle += 1;
+    } else {
+        let ar = ArBeat::new(AxiId(plan.id), addr, len, size, BurstKind::Incr);
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        port.ar.drive(ar);
+        port.ar.set_ready(true);
+        let v = chk.observe(&port, *cycle);
+        assert!(v.is_empty(), "legal AR flagged: {v:?}");
+        *cycle += 1;
+        for beat in 0..plan.beats {
+            let r = RBeat::new(
+                AxiId(plan.id),
+                u64::from(beat),
+                Resp::Okay,
+                beat + 1 == plan.beats,
+            );
+            let mut port = AxiPort::new();
+            port.begin_cycle();
+            port.r.drive(r);
+            port.r.set_ready(true);
+            let v = chk.observe(&port, *cycle);
+            assert!(v.is_empty(), "legal R flagged: {v:?}");
+            *cycle += 1;
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary sequences of legal transactions never trip the checker.
+    #[test]
+    fn legal_traffic_is_never_flagged(plans in prop::collection::vec(txn_plan(), 1..12)) {
+        let mut chk = ProtocolChecker::new();
+        let mut cycle = 0u64;
+        for plan in &plans {
+            drive_legal(&mut chk, &mut cycle, plan);
+        }
+        prop_assert_eq!(chk.stats().violations, 0);
+        prop_assert_eq!(chk.outstanding_writes(), 0);
+        prop_assert_eq!(chk.outstanding_reads(), 0);
+    }
+
+    /// A WLAST at a random wrong beat of a multi-beat burst is always
+    /// flagged as exactly the WLAST rule.
+    #[test]
+    fn wrong_wlast_always_flagged(beats in 2u16..17, wrong in 0u16..16) {
+        prop_assume!(wrong < beats - 1); // early WLAST position
+        let mut chk = ProtocolChecker::new();
+        let len = BurstLen::from_beats(beats).expect("legal");
+        let size = BurstSize::from_bytes(8).expect("legal");
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        port.aw.drive(AwBeat::new(AxiId(0), Addr(0), len, size, BurstKind::Incr));
+        port.aw.set_ready(true);
+        prop_assert!(chk.observe(&port, 0).is_empty());
+        let mut flagged = false;
+        for beat in 0..=wrong {
+            let mut port = AxiPort::new();
+            port.begin_cycle();
+            port.w.drive(WBeat::new(0, beat == wrong)); // early WLAST
+            port.w.set_ready(true);
+            let v = chk.observe(&port, 1 + u64::from(beat));
+            if beat == wrong {
+                prop_assert!(v.iter().any(|x| x.rule == Rule::WlastEarly), "got {v:?}");
+                flagged = true;
+            } else {
+                prop_assert!(v.is_empty());
+            }
+        }
+        prop_assert!(flagged);
+    }
+
+    /// A corrupted response ID is flagged against any backdrop of legal
+    /// outstanding transactions.
+    #[test]
+    fn foreign_response_id_flagged(plans in prop::collection::vec(txn_plan(), 0..6)) {
+        let mut chk = ProtocolChecker::new();
+        let mut cycle = 0u64;
+        for plan in &plans {
+            drive_legal(&mut chk, &mut cycle, plan);
+        }
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        port.b.drive(BBeat::new(AxiId(0x3FF), Resp::Okay)); // never issued
+        port.b.set_ready(true);
+        let v = chk.observe(&port, cycle);
+        prop_assert!(v.iter().any(|x| x.rule == Rule::BWithoutTxn), "got {v:?}");
+    }
+}

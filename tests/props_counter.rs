@@ -1,0 +1,91 @@
+//! Property tests: the prescaled counter's detection-latency formula
+//! holds under simulation for arbitrary budgets/steps, and the area
+//! model behaves monotonically.
+
+use axi_tmu::gf12_area::model::tmu_area;
+use axi_tmu::tmu::{PrescaledCounter, TmuConfig, TmuVariant};
+use proptest::prelude::*;
+
+proptest! {
+    /// Ticking a counter until expiry always takes exactly the cycles the
+    /// closed-form `detection_latency` predicts.
+    #[test]
+    fn latency_formula_matches_tick_loop(
+        budget in 1u64..2048,
+        step_pow in 0u32..8,
+        sticky in any::<bool>(),
+    ) {
+        let step = 1u64 << step_pow;
+        let mut counter = PrescaledCounter::new(budget, step, sticky);
+        let mut cycles = 0u64;
+        while !counter.expired() {
+            counter.tick();
+            cycles += 1;
+            prop_assert!(cycles < 1_000_000, "never expired");
+        }
+        prop_assert_eq!(cycles, PrescaledCounter::detection_latency(budget, step, sticky));
+    }
+
+    /// The detection latency never undershoots the budget (no false
+    /// early timeouts) and overshoots by at most two prescale steps.
+    #[test]
+    fn latency_bounds(budget in 1u64..2048, step_pow in 0u32..8, sticky in any::<bool>()) {
+        let step = 1u64 << step_pow;
+        let lat = PrescaledCounter::detection_latency(budget, step, sticky);
+        prop_assert!(lat > budget, "lat {lat} must exceed budget {budget}");
+        prop_assert!(
+            lat <= budget + 3 * step,
+            "lat {lat} overshoots budget {budget} by more than 3 steps ({step})"
+        );
+    }
+
+    /// Restart always clears expiry, whatever state the counter was in.
+    #[test]
+    fn restart_always_rearms(budget in 1u64..512, ticks in 0u64..4096) {
+        let mut counter = PrescaledCounter::new(budget, 4, true);
+        for _ in 0..ticks {
+            counter.tick();
+        }
+        counter.restart();
+        prop_assert!(!counter.expired());
+        prop_assert!(!counter.near_timeout());
+        prop_assert_eq!(counter.raw_count(), 0);
+    }
+
+    /// Counter width shrinks monotonically with the prescale step and
+    /// suffices to hold the expiry count.
+    #[test]
+    fn width_monotone_and_sufficient(budget in 1u64..4096, step_pow in 0u32..8) {
+        let step = 1u64 << step_pow;
+        let w = PrescaledCounter::required_width_bits(budget, step);
+        let max_count = budget.div_ceil(step) + 2;
+        prop_assert!(max_count < (1u64 << w), "width {w} too small for {max_count}");
+        if step > 1 {
+            prop_assert!(w <= PrescaledCounter::required_width_bits(budget, step / 2));
+        }
+    }
+
+    /// Area model: monotone in capacity for every variant/prescale
+    /// combination, and Fc dominates Tc.
+    #[test]
+    fn area_monotone_in_capacity(per_id in 1u32..16, step_pow in 0u32..6) {
+        let step = 1u64 << step_pow;
+        let build = |variant, per_id| {
+            TmuConfig::builder()
+                .variant(variant)
+                .max_uniq_ids(4)
+                .txn_per_id(per_id)
+                .prescaler(step)
+                .build()
+                .expect("valid")
+        };
+        for variant in [TmuVariant::TinyCounter, TmuVariant::FullCounter] {
+            let small = tmu_area(&build(variant, per_id), 256).total_um2();
+            let large = tmu_area(&build(variant, per_id + 1), 256).total_um2();
+            prop_assert!(large > small, "{variant:?}: area must grow with capacity");
+        }
+        let tc = tmu_area(&build(TmuVariant::TinyCounter, per_id), 256).total_um2();
+        let fc = tmu_area(&build(TmuVariant::FullCounter, per_id), 256).total_um2();
+        prop_assert!(fc > tc);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: Outstanding Transaction Table and ID remapper
+//! invariants under random operation sequences.
+
+use axi4::AxiId;
+use axi_tmu::tmu::ott::Ott;
+use axi_tmu::tmu::remap::IdRemapper;
+use proptest::prelude::*;
+
+/// A random OTT operation.
+#[derive(Debug, Clone, Copy)]
+enum OttOp {
+    Enqueue(usize, u32),
+    DequeueHead(usize),
+    EiAdvanceFront,
+}
+
+fn ott_op() -> impl Strategy<Value = OttOp> {
+    prop_oneof![
+        (0..4usize, any::<u32>()).prop_map(|(uid, v)| OttOp::Enqueue(uid, v)),
+        (0..4usize).prop_map(OttOp::DequeueHead),
+        Just(OttOp::EiAdvanceFront),
+    ]
+}
+
+proptest! {
+    /// The three linked sub-tables stay mutually consistent under any
+    /// operation sequence, and FIFO order per unique ID is preserved.
+    #[test]
+    fn ott_stays_consistent(ops in prop::collection::vec(ott_op(), 1..200)) {
+        let mut ott: Ott<u32> = Ott::new(4, 16);
+        // Shadow model: per-uid FIFO of payloads.
+        let mut shadow: Vec<std::collections::VecDeque<u32>> =
+            vec![Default::default(); 4];
+        for op in ops {
+            match op {
+                OttOp::Enqueue(uid, v) => {
+                    let admitted = ott.enqueue(uid, v).is_some();
+                    prop_assert_eq!(admitted, shadow.iter().map(|q| q.len()).sum::<usize>() < 16);
+                    if admitted {
+                        shadow[uid].push_back(v);
+                    }
+                }
+                OttOp::DequeueHead(uid) => {
+                    let got = ott.dequeue_head(uid).map(|(_, e)| e.tracker);
+                    prop_assert_eq!(got, shadow[uid].pop_front());
+                }
+                OttOp::EiAdvanceFront => {
+                    if let Some(front) = ott.ei_front() {
+                        ott.ei_advance(front);
+                    }
+                }
+            }
+            ott.assert_consistent();
+            prop_assert_eq!(ott.len(), shadow.iter().map(|q| q.len()).sum::<usize>());
+            for (uid, q) in shadow.iter().enumerate() {
+                prop_assert_eq!(ott.count_of(uid) as usize, q.len());
+                // The head matches the shadow FIFO front.
+                let head = ott.head_of(uid).and_then(|i| ott.get(i)).map(|e| e.tracker);
+                prop_assert_eq!(head, q.front().copied());
+            }
+        }
+    }
+
+    /// Remapper: same-ID acquires share a slot; occupancy never exceeds
+    /// capacities; release frees exactly one reference.
+    #[test]
+    fn remapper_refcounts_are_exact(
+        ids in prop::collection::vec(0u16..12, 1..100),
+        capacity in 1usize..6,
+        per_id in 1u32..6,
+    ) {
+        let mut remap = IdRemapper::new(capacity, per_id);
+        let mut live: Vec<(u16, usize)> = Vec::new(); // (raw id, uid)
+        for id in ids {
+            match remap.acquire(AxiId(id)) {
+                Ok(uid) => {
+                    // Any live entry with the same raw id shares the slot.
+                    for (other, other_uid) in &live {
+                        if *other == id {
+                            prop_assert_eq!(uid, *other_uid);
+                        }
+                    }
+                    live.push((id, uid));
+                }
+                Err(_) => {
+                    // Stall must be justified: either slots are exhausted
+                    // by other ids, or this id hit its quota.
+                    let same = live.iter().filter(|(other, _)| *other == id).count() as u32;
+                    let distinct: std::collections::HashSet<_> =
+                        live.iter().map(|(other, _)| *other).collect();
+                    prop_assert!(
+                        same >= per_id || (!distinct.contains(&id) && distinct.len() >= capacity),
+                        "unjustified stall for id {id}: same={same} distinct={}",
+                        distinct.len()
+                    );
+                    // Make room: release the oldest.
+                    if let Some((_, uid)) = live.first().copied() {
+                        remap.release(uid);
+                        live.remove(0);
+                    }
+                }
+            }
+            prop_assert_eq!(remap.outstanding(), live.len());
+            let distinct: std::collections::HashSet<_> = live.iter().map(|(i, _)| *i).collect();
+            prop_assert_eq!(remap.live_ids(), distinct.len());
+        }
+        // Releasing everything empties the remapper.
+        for (_, uid) in live {
+            remap.release(uid);
+        }
+        prop_assert_eq!(remap.outstanding(), 0);
+        prop_assert_eq!(remap.live_ids(), 0);
+    }
+}
