@@ -1,0 +1,60 @@
+//! Engine and sweep-runner benchmarks: the deadline-wheel engine against
+//! the per-cycle reference on the saturated total-stall scenario, and
+//! the parallel Fig. 9 sweep against the serial one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tmu::{CounterEngine, TmuVariant};
+use tmu_bench::hotpath::{run_saturated_stall, run_saturated_stall_fastforward};
+use tmu_bench::parallel::{default_threads, fig9_parallel};
+
+/// Small enough to keep criterion iterations snappy, large enough that
+/// the stall phase dominates the fill phase.
+const BENCH_BUDGET: u64 = 4_000;
+
+fn bench_stall_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturated_stall");
+    for (name, engine) in [
+        ("per_cycle", CounterEngine::PerCycle),
+        ("deadline_wheel", CounterEngine::DeadlineWheel),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_saturated_stall(
+                    TmuVariant::FullCounter,
+                    engine,
+                    BENCH_BUDGET,
+                ))
+            });
+        });
+    }
+    group.bench_function("deadline_wheel_fastforward", |b| {
+        b.iter(|| {
+            black_box(run_saturated_stall_fastforward(
+                TmuVariant::FullCounter,
+                BENCH_BUDGET,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig9_sweep(c: &mut Criterion) {
+    let classes: Vec<_> = faults::FaultClass::WRITE_CLASSES
+        .iter()
+        .chain(faults::FaultClass::READ_CLASSES.iter())
+        .copied()
+        .collect();
+    let threads = default_threads();
+    let mut group = c.benchmark_group("fig9_sweep");
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(fig9_parallel(TmuVariant::FullCounter, &classes, 1)));
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(fig9_parallel(TmuVariant::FullCounter, &classes, threads)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stall_engines, bench_fig9_sweep);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Hot-path engine benchmark: measures the deadline-wheel engine and the
+//! event-driven fast-forward against the per-cycle reference on the
+//! saturated total-stall scenario, and the parallel sweep runner against
+//! the serial Fig. 9 campaign. Prints a table and writes the measured
+//! numbers to `BENCH_hotpath.json` at the repository root.
+
+use std::time::Instant;
+
+use faults::FaultClass;
+use tmu::{CounterEngine, TmuVariant};
+use tmu_bench::hotpath::{
+    run_saturated_stall, run_saturated_stall_fastforward, StallRun, HOTPATH_BUDGET,
+    HOTPATH_OUTSTANDING,
+};
+use tmu_bench::parallel::{default_threads, fig9_parallel};
+use tmu_bench::table::Table;
+
+/// Repetitions per timed measurement; the minimum is reported to shave
+/// scheduler noise.
+const REPS: u32 = 3;
+
+fn time_min<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (best, result.expect("at least one repetition"))
+}
+
+struct StallMeasurement {
+    variant: TmuVariant,
+    per_cycle_s: f64,
+    wheel_s: f64,
+    fastforward_s: f64,
+    run: StallRun,
+    fast: StallRun,
+}
+
+fn measure_stall(variant: TmuVariant) -> StallMeasurement {
+    let (per_cycle_s, reference) =
+        time_min(|| run_saturated_stall(variant, CounterEngine::PerCycle, HOTPATH_BUDGET));
+    let (wheel_s, wheel) =
+        time_min(|| run_saturated_stall(variant, CounterEngine::DeadlineWheel, HOTPATH_BUDGET));
+    let (fastforward_s, fast) =
+        time_min(|| run_saturated_stall_fastforward(variant, HOTPATH_BUDGET));
+    assert_eq!(
+        (reference.first_fault_cycle, reference.inflight_cycles),
+        (wheel.first_fault_cycle, wheel.inflight_cycles),
+        "{variant:?}: engines diverged"
+    );
+    assert_eq!(
+        (reference.first_fault_cycle, reference.inflight_cycles),
+        (fast.first_fault_cycle, fast.inflight_cycles),
+        "{variant:?}: fast-forward diverged"
+    );
+    StallMeasurement {
+        variant,
+        per_cycle_s,
+        wheel_s,
+        fastforward_s,
+        run: reference,
+        fast,
+    }
+}
+
+fn json_f(value: f64) -> String {
+    format!("{value:.6}")
+}
+
+fn main() {
+    println!(
+        "hot-path engine benchmark: {HOTPATH_OUTSTANDING} outstanding writes, \
+         budget {HOTPATH_BUDGET} cycles, min of {REPS} reps\n"
+    );
+
+    let stalls: Vec<StallMeasurement> = [TmuVariant::TinyCounter, TmuVariant::FullCounter]
+        .into_iter()
+        .map(measure_stall)
+        .collect();
+
+    let mut table = Table::new(
+        "saturated total-stall scenario",
+        &[
+            "variant",
+            "per-cycle (ms)",
+            "wheel (ms)",
+            "wheel speedup",
+            "fast-fwd (ms)",
+            "fast-fwd speedup",
+        ],
+    );
+    for m in &stalls {
+        table.row_owned(vec![
+            format!("{:?}", m.variant),
+            format!("{:.3}", m.per_cycle_s * 1e3),
+            format!("{:.3}", m.wheel_s * 1e3),
+            format!("{:.2}x", m.per_cycle_s / m.wheel_s),
+            format!("{:.3}", m.fastforward_s * 1e3),
+            format!("{:.2}x", m.per_cycle_s / m.fastforward_s),
+        ]);
+    }
+    println!("{}", table.render());
+    for m in &stalls {
+        println!(
+            "{:?}: fault at cycle {}, {} harness steps stepped vs {} fast-forwarded",
+            m.variant, m.run.first_fault_cycle, m.run.steps_executed, m.fast.steps_executed
+        );
+    }
+
+    let threads = default_threads();
+    let classes: Vec<FaultClass> = FaultClass::WRITE_CLASSES
+        .iter()
+        .chain(FaultClass::READ_CLASSES.iter())
+        .copied()
+        .collect();
+    let sweep = |threads: usize| {
+        let tc = fig9_parallel(TmuVariant::TinyCounter, &classes, threads);
+        let fc = fig9_parallel(TmuVariant::FullCounter, &classes, threads);
+        (tc, fc)
+    };
+    let (serial_s, serial_rows) = time_min(|| sweep(1));
+    let (parallel_s, parallel_rows) = time_min(|| sweep(threads));
+    assert_eq!(serial_rows, parallel_rows, "parallel sweep diverged");
+    println!(
+        "\nfig9 sweep (2 variants x {} classes): serial {:.3} ms, \
+         parallel({} threads) {:.3} ms, {:.2}x",
+        classes.len(),
+        serial_s * 1e3,
+        threads,
+        parallel_s * 1e3,
+        serial_s / parallel_s
+    );
+    if threads == 1 {
+        println!("note: host reports 1 available CPU; the parallel runner degrades to serial");
+    }
+
+    // The vendored serde derive is a no-op stand-in, so the JSON summary
+    // is assembled by hand.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"scenario\": {{\"outstanding\": {HOTPATH_OUTSTANDING}, \"budget_cycles\": {HOTPATH_BUDGET}, \"reps\": {REPS}}},\n"
+    ));
+    json.push_str("  \"total_stall\": [\n");
+    for (i, m) in stalls.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"variant\": \"{:?}\", \"per_cycle_s\": {}, \"wheel_s\": {}, \"wheel_speedup\": {}, \"fastforward_s\": {}, \"fastforward_speedup\": {}, \"first_fault_cycle\": {}, \"steps_stepped\": {}, \"steps_fastforward\": {}}}{}\n",
+            m.variant,
+            json_f(m.per_cycle_s),
+            json_f(m.wheel_s),
+            json_f(m.per_cycle_s / m.wheel_s),
+            json_f(m.fastforward_s),
+            json_f(m.per_cycle_s / m.fastforward_s),
+            m.run.first_fault_cycle,
+            m.run.steps_executed,
+            m.fast.steps_executed,
+            if i + 1 < stalls.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"fig9_sweep\": {{\"variants\": 2, \"classes\": {}, \"host_cpus\": {}, \"threads\": {}, \"serial_s\": {}, \"parallel_s\": {}, \"speedup\": {}}}\n",
+        classes.len(),
+        default_threads(),
+        threads,
+        json_f(serial_s),
+        json_f(parallel_s),
+        json_f(serial_s / parallel_s)
+    ));
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    std::fs::write(path, json).expect("write BENCH_hotpath.json");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,220 @@
+//! The event-driven hot-path benchmark scenarios behind
+//! `BENCH_hotpath.json`.
+//!
+//! The scenario is the paper's total-stall worst case at full OTT
+//! occupancy: 128 one-beat writes are accepted by a subordinate that
+//! never responds ([`BlackHoleSub`]), so 128 timeout counters sit armed
+//! in `RespWait` for the entire stall budget. Three ways to run it:
+//!
+//! 1. **Per-cycle reference** — every counter ticked every cycle
+//!    (`CounterEngine::PerCycle`): O(outstanding) work per cycle.
+//! 2. **Deadline wheel, stepped** — same cycle-by-cycle harness loop,
+//!    but commits only touch counters whose deadline is due
+//!    (`CounterEngine::DeadlineWheel`).
+//! 3. **Deadline wheel, fast-forward** — the harness additionally skips
+//!    the provably idle stall stretch in O(1) via
+//!    [`Simulation::run_until_event`] and [`Tmu::next_deadline`].
+//!
+//! All three must report the fault at the identical cycle with identical
+//! logs — asserted by the unit tests here and the differential property
+//! tests in `tests/props_fastpath.rs`.
+
+use sim::{Simulation, StepStatus};
+use soc::link::{BlackHoleSub, GuardedLink};
+use soc::manager::TrafficPattern;
+use tmu::{BudgetConfig, CounterEngine, TmuConfig, TmuVariant};
+
+/// Outstanding transactions at saturation, capped by the manager's
+/// issue window. The TMU itself is provisioned with headroom (4 unique
+/// IDs × 128 per ID) so the manager's random ID mix never stalls on a
+/// per-ID quota before reaching full occupancy.
+pub const HOTPATH_OUTSTANDING: usize = 128;
+
+/// Stall budget of the headline benchmark run: long enough that the
+/// saturated stall stretch dominates the fill phase.
+pub const HOTPATH_BUDGET: u64 = 20_000;
+
+/// Prescaler step of the benchmark configuration.
+pub const HOTPATH_PRESCALE: u64 = 32;
+
+fn hotpath_pattern() -> TrafficPattern {
+    TrafficPattern {
+        write_ratio: 1.0,
+        burst_lens: vec![1],
+        ids: vec![0, 1, 2, 3],
+        addr_base: 0x1000,
+        addr_span: 1,
+        max_outstanding: HOTPATH_OUTSTANDING,
+        issue_gap: 0,
+        total_txns: None,
+        verify_data: false,
+    }
+}
+
+fn hotpath_budgets(budget: u64) -> BudgetConfig {
+    BudgetConfig {
+        addr_handshake: budget,
+        data_entry: budget,
+        first_data: budget,
+        per_beat: budget,
+        resp_wait: budget,
+        resp_ready: budget,
+        queue_wait_per_txn: 0,
+        queue_wait_per_beat: 0,
+        tiny_total_override: Some(budget),
+    }
+}
+
+/// The benchmark TMU configuration: 128 outstanding, prescaler 32 with
+/// the sticky bit, every phase budgeted `budget` cycles.
+#[must_use]
+pub fn hotpath_cfg(variant: TmuVariant, engine: CounterEngine, budget: u64) -> TmuConfig {
+    TmuConfig::builder()
+        .variant(variant)
+        .max_uniq_ids(4)
+        .txn_per_id(128)
+        .prescaler(HOTPATH_PRESCALE)
+        .budgets(hotpath_budgets(budget))
+        .engine(engine)
+        .build()
+        .expect("valid hot-path configuration")
+}
+
+/// Outcome of one saturated-stall run (any engine/harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallRun {
+    /// Cycle of the first fault record.
+    pub first_fault_cycle: u64,
+    /// In-flight cycles of the first timed-out transaction.
+    pub inflight_cycles: u64,
+    /// Harness step() invocations actually executed.
+    pub steps_executed: u64,
+    /// Simulated cycles elapsed (including fast-forwarded ones).
+    pub cycles_elapsed: u64,
+}
+
+fn stall_link(
+    variant: TmuVariant,
+    engine: CounterEngine,
+    budget: u64,
+) -> GuardedLink<BlackHoleSub> {
+    GuardedLink::new(
+        hotpath_pattern(),
+        hotpath_cfg(variant, engine, budget),
+        BlackHoleSub,
+        7,
+    )
+}
+
+fn cycle_limit(budget: u64) -> u64 {
+    budget * 4 + 100_000
+}
+
+fn stall_result(link: &GuardedLink<BlackHoleSub>, steps_executed: u64) -> StallRun {
+    let fault = link.tmu.last_fault().expect("fault recorded");
+    StallRun {
+        first_fault_cycle: fault.cycle,
+        inflight_cycles: fault.inflight_cycles,
+        steps_executed,
+        cycles_elapsed: link.cycle(),
+    }
+}
+
+/// Runs the saturated total-stall scenario cycle by cycle until the
+/// first timeout fires.
+#[must_use]
+pub fn run_saturated_stall(variant: TmuVariant, engine: CounterEngine, budget: u64) -> StallRun {
+    let mut link = stall_link(variant, engine, budget);
+    let detected = link.run_until(cycle_limit(budget), |l| l.tmu.faults_detected() > 0);
+    assert!(detected, "saturated stall must time out");
+    stall_result(&link, link.cycle())
+}
+
+/// Runs the same scenario under the deadline-wheel engine with
+/// event-driven fast-forward: once the OTT is saturated and every issued
+/// write's data has been delivered, nothing can change until the
+/// earliest armed deadline (`Tmu::next_deadline`), so the idle stretch
+/// is skipped in O(1) instead of being stepped through.
+#[must_use]
+pub fn run_saturated_stall_fastforward(variant: TmuVariant, budget: u64) -> StallRun {
+    let mut link = stall_link(variant, CounterEngine::DeadlineWheel, budget);
+    let mut sim = Simulation::new();
+    let mut steps = 0u64;
+    let outcome = sim.run_until_event(cycle_limit(budget), |clk| {
+        link.fast_forward_to(clk.cycle());
+        link.step();
+        steps += 1;
+        if link.tmu.faults_detected() > 0 {
+            return StepStatus::Done;
+        }
+        // Quiescence proof for this scenario: the OTT is saturated (the
+        // manager's next AW is stalled on a constant wire state), every
+        // issued one-beat write has delivered its data beat (no W
+        // handshake pending), and the subordinate never drives a
+        // response. No guard transition can occur before the earliest
+        // armed timeout deadline.
+        let stats = link.mgr.stats();
+        if link.tmu.outstanding() == HOTPATH_OUTSTANDING && stats.w_beats == stats.writes_issued {
+            if let Some(deadline) = link.tmu.next_deadline() {
+                return StepStatus::IdleUntil(deadline);
+            }
+        }
+        StepStatus::Continue
+    });
+    assert!(outcome.condition_met, "saturated stall must time out");
+    stall_result(&link, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_BUDGET: u64 = 2_000;
+
+    #[test]
+    fn engines_agree_cycle_for_cycle() {
+        for variant in [TmuVariant::TinyCounter, TmuVariant::FullCounter] {
+            let reference = run_saturated_stall(variant, CounterEngine::PerCycle, TEST_BUDGET);
+            let wheel = run_saturated_stall(variant, CounterEngine::DeadlineWheel, TEST_BUDGET);
+            assert_eq!(
+                (reference.first_fault_cycle, reference.inflight_cycles),
+                (wheel.first_fault_cycle, wheel.inflight_cycles),
+                "{variant:?}: wheel must match the per-cycle reference"
+            );
+            assert_eq!(reference.steps_executed, wheel.steps_executed);
+        }
+    }
+
+    #[test]
+    fn fastforward_agrees_and_skips_most_cycles() {
+        for variant in [TmuVariant::TinyCounter, TmuVariant::FullCounter] {
+            let stepped = run_saturated_stall(variant, CounterEngine::DeadlineWheel, TEST_BUDGET);
+            let fast = run_saturated_stall_fastforward(variant, TEST_BUDGET);
+            assert_eq!(
+                (stepped.first_fault_cycle, stepped.inflight_cycles),
+                (fast.first_fault_cycle, fast.inflight_cycles),
+                "{variant:?}: fast-forward must not change the outcome"
+            );
+            assert!(
+                fast.steps_executed * 4 < stepped.steps_executed,
+                "{variant:?}: fast-forward must skip the idle stretch \
+                 ({} vs {} steps)",
+                fast.steps_executed,
+                stepped.steps_executed
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_reaches_full_occupancy() {
+        let mut link = stall_link(
+            TmuVariant::TinyCounter,
+            CounterEngine::DeadlineWheel,
+            TEST_BUDGET,
+        );
+        link.run_until(cycle_limit(TEST_BUDGET), |l| {
+            l.tmu.outstanding() == HOTPATH_OUTSTANDING
+        });
+        assert_eq!(link.tmu.outstanding(), HOTPATH_OUTSTANDING);
+    }
+}

@@ -32,6 +32,32 @@ impl fmt::Display for TmuVariant {
     }
 }
 
+/// How the model evaluates the timeout counters each cycle.
+///
+/// Both engines are cycle-for-cycle equivalent (enforced by the
+/// differential property tests in `tests/props_fastpath.rs`); they differ
+/// only in simulation cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterEngine {
+    /// Tick every live counter every cycle, exactly like the RTL.
+    /// O(outstanding) work per cycle; the reference model.
+    PerCycle,
+    /// Deadline-wheel scheduling: each armed counter registers the cycle
+    /// its next expiry can fire (exploiting the prescaler step) in a
+    /// min-heap, and the commit pass only touches counters whose deadline
+    /// is due. O(1) per idle cycle, O(log n) per (re)arm.
+    DeadlineWheel,
+}
+
+impl fmt::Display for CounterEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterEngine::PerCycle => write!(f, "per-cycle"),
+            CounterEngine::DeadlineWheel => write!(f, "deadline-wheel"),
+        }
+    }
+}
+
 /// Errors from [`TmuConfigBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -91,6 +117,7 @@ pub struct TmuConfig {
     sticky: bool,
     budgets: BudgetConfig,
     check_protocol: bool,
+    engine: CounterEngine,
 }
 
 impl TmuConfig {
@@ -153,6 +180,13 @@ impl TmuConfig {
     pub fn check_protocol(&self) -> bool {
         self.check_protocol
     }
+
+    /// The counter-evaluation engine (a simulation-speed knob; both
+    /// engines produce identical monitoring behaviour).
+    #[must_use]
+    pub fn engine(&self) -> CounterEngine {
+        self.engine
+    }
 }
 
 impl Default for TmuConfig {
@@ -188,6 +222,7 @@ pub struct TmuConfigBuilder {
     sticky: bool,
     budgets: BudgetConfig,
     check_protocol: bool,
+    engine: CounterEngine,
 }
 
 impl Default for TmuConfigBuilder {
@@ -200,6 +235,7 @@ impl Default for TmuConfigBuilder {
             sticky: false,
             budgets: BudgetConfig::default(),
             check_protocol: true,
+            engine: CounterEngine::DeadlineWheel,
         }
     }
 }
@@ -257,6 +293,16 @@ impl TmuConfigBuilder {
         self
     }
 
+    /// Selects the counter-evaluation engine. The default is the
+    /// deadline-wheel fast path; [`CounterEngine::PerCycle`] keeps the
+    /// reference RTL-style per-cycle ticking (used by the differential
+    /// equivalence tests).
+    #[must_use]
+    pub fn engine(mut self, engine: CounterEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -285,6 +331,7 @@ impl TmuConfigBuilder {
             sticky: self.sticky,
             budgets: self.budgets,
             check_protocol: self.check_protocol,
+            engine: self.engine,
         })
     }
 }
@@ -595,6 +642,17 @@ mod tests {
         assert_eq!(cfg.prescaler(), 1);
         assert!(!cfg.sticky());
         assert!(cfg.check_protocol());
+    }
+
+    #[test]
+    fn engine_defaults_to_deadline_wheel() {
+        let cfg = TmuConfig::default();
+        assert_eq!(cfg.engine(), CounterEngine::DeadlineWheel);
+        let cfg = TmuConfig::builder()
+            .engine(CounterEngine::PerCycle)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.engine(), CounterEngine::PerCycle);
     }
 
     #[test]

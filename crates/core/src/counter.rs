@@ -91,6 +91,55 @@ impl PrescaledCounter {
         }
     }
 
+    /// Advances `n` cycles at once. Equivalent to `n` calls to
+    /// [`Self::tick`], in O(1) — the deadline-wheel engine uses this to
+    /// materialize a counter's state lazily instead of ticking it every
+    /// cycle.
+    ///
+    /// The equivalence holds because the per-cycle state is fully
+    /// determined by `(phase + n) / step` whole prescale ticks and a
+    /// `(phase + n) % step` residue, and the sticky latch — only
+    /// evaluated at tick boundaries — latches iff any tick occurred with
+    /// the (monotone) count at or beyond the budget, i.e. iff the final
+    /// count is and at least one tick occurred.
+    pub fn advance(&mut self, n: u64) {
+        let total = self.phase + n;
+        let ticks = total / self.step;
+        self.count = self.count.saturating_add(ticks);
+        self.phase = total % self.step;
+        if ticks > 0 && self.count >= self.ticks_budget {
+            self.sticky = true;
+        }
+    }
+
+    /// The prescaled count at which [`Self::expired`] first reports true:
+    /// one past the budget with the sticky bit (the latch confirms the
+    /// near-timeout at the next tick), two past without (the modelled
+    /// counter-update delay needs an extra confirmation tick).
+    fn expiry_count(&self) -> u64 {
+        if self.sticky_enabled {
+            self.ticks_budget.saturating_add(1)
+        } else {
+            self.ticks_budget.saturating_add(2)
+        }
+    }
+
+    /// Stalled cycles from the current state until [`Self::expired`]
+    /// first reports true (0 if it already does). This is the counter's
+    /// *deadline*: the deadline-wheel engine schedules one wake-up this
+    /// many cycles ahead instead of ticking every cycle.
+    #[must_use]
+    pub fn cycles_to_expiry(&self) -> u64 {
+        if self.expired() {
+            return 0;
+        }
+        // Not expired, so count < expiry_count (the count passes through
+        // the budget on its way up, latching sticky at that tick).
+        (self.expiry_count() - self.count)
+            .saturating_mul(self.step)
+            .saturating_sub(self.phase)
+    }
+
     /// True once the budget deadline is considered exceeded (see the
     /// [module docs](self) for the exact latency semantics).
     #[must_use]
@@ -308,6 +357,92 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_step_rejected() {
         let _ = PrescaledCounter::new(8, 0, true);
+    }
+
+    #[test]
+    fn advance_matches_repeated_ticks() {
+        for &(budget, step, sticky) in &[
+            (10u64, 1u64, true),
+            (10, 1, false),
+            (256, 32, true),
+            (256, 32, false),
+            (100, 7, true),
+            (0, 4, true),
+            (1, 128, false),
+        ] {
+            for n in [0u64, 1, 3, 7, 31, 100, 1000] {
+                let mut ticked = PrescaledCounter::new(budget, step, sticky);
+                for _ in 0..n {
+                    ticked.tick();
+                }
+                let mut advanced = PrescaledCounter::new(budget, step, sticky);
+                advanced.advance(n);
+                assert_eq!(
+                    ticked, advanced,
+                    "budget={budget} step={step} sticky={sticky} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advance_composes() {
+        let mut once = PrescaledCounter::new(50, 8, true);
+        once.advance(77);
+        let mut split = PrescaledCounter::new(50, 8, true);
+        split.advance(30);
+        split.advance(40);
+        split.advance(7);
+        assert_eq!(once, split);
+    }
+
+    #[test]
+    fn cycles_to_expiry_predicts_exact_fire_tick() {
+        for &(budget, step, sticky) in &[
+            (10u64, 1u64, true),
+            (10, 1, false),
+            (256, 32, true),
+            (256, 32, false),
+            (100, 7, true),
+            (0, 1, true),
+        ] {
+            let mut c = PrescaledCounter::new(budget, step, sticky);
+            // From every intermediate state, the prediction must be the
+            // exact number of remaining stalled ticks.
+            loop {
+                let predicted = c.cycles_to_expiry();
+                let mut probe = c;
+                let mut n = 0;
+                while !probe.expired() {
+                    probe.tick();
+                    n += 1;
+                }
+                assert_eq!(
+                    predicted,
+                    n,
+                    "budget={budget} step={step} sticky={sticky} count={}",
+                    c.raw_count()
+                );
+                if c.expired() {
+                    assert_eq!(predicted, 0);
+                    break;
+                }
+                c.tick();
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_to_expiry_matches_detection_latency_when_fresh() {
+        for &(budget, step) in &[(256u64, 32u64), (256, 1), (100, 7), (1, 128)] {
+            for sticky in [true, false] {
+                let c = PrescaledCounter::new(budget, step, sticky);
+                assert_eq!(
+                    c.cycles_to_expiry(),
+                    PrescaledCounter::detection_latency(budget, step, sticky)
+                );
+            }
+        }
     }
 
     #[test]

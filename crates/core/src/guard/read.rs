@@ -7,12 +7,13 @@ use serde::{Deserialize, Serialize};
 
 use super::{AbortTxn, GuardFault};
 use crate::budget::{BudgetConfig, QueueLoad, ReadBudgets};
-use crate::config::{TmuConfig, TmuVariant};
+use crate::config::{CounterEngine, TmuConfig, TmuVariant};
 use crate::counter::PrescaledCounter;
 use crate::log::{FaultKind, PerfLog, PerfRecord};
 use crate::ott::{LdIndex, Ott};
 use crate::phase::ReadPhase;
 use crate::remap::IdRemapper;
+use crate::wheel::DeadlineWheel;
 
 /// Per-transaction tracker state stored in the read OTT's LD rows.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,11 +59,14 @@ struct ReadObservation {
 #[derive(Debug, Clone)]
 pub struct ReadGuard {
     variant: TmuVariant,
+    engine: CounterEngine,
     prescaler: u64,
     sticky: bool,
     budget_cfg: BudgetConfig,
     ott: Ott<ReadTracker>,
     remap: IdRemapper,
+    /// Deadline schedule for the event-driven counter engine.
+    wheel: DeadlineWheel,
     ar_pending: Option<LdIndex>,
     stalled_this_cycle: bool,
     obs: ReadObservation,
@@ -74,11 +78,13 @@ impl ReadGuard {
     pub fn new(cfg: &TmuConfig) -> Self {
         ReadGuard {
             variant: cfg.variant(),
+            engine: cfg.engine(),
             prescaler: cfg.prescaler(),
             sticky: cfg.sticky(),
             budget_cfg: *cfg.budgets(),
             ott: Ott::new(cfg.max_uniq_ids(), cfg.max_outstanding()),
             remap: IdRemapper::new(cfg.max_uniq_ids(), cfg.txn_per_id()),
+            wheel: DeadlineWheel::new(cfg.max_outstanding()),
             ar_pending: None,
             stalled_this_cycle: false,
             obs: ReadObservation::default(),
@@ -127,7 +133,15 @@ impl ReadGuard {
         }
     }
 
-    fn transition(tracker: &mut ReadTracker, to: ReadPhase, cycle: u64, variant: TmuVariant) {
+    fn transition(
+        wheel: &mut DeadlineWheel,
+        engine: CounterEngine,
+        idx: LdIndex,
+        tracker: &mut ReadTracker,
+        to: ReadPhase,
+        cycle: u64,
+        variant: TmuVariant,
+    ) {
         let from = tracker.phase;
         if !from.is_done() {
             tracker.phase_cycles[from.index()] =
@@ -137,6 +151,11 @@ impl ReadGuard {
         tracker.phase_started_at = cycle + 1;
         if variant == TmuVariant::FullCounter && !to.is_done() {
             tracker.counter.rebudget(tracker.budgets.for_phase(to));
+            // The restarted counter receives its first tick in this
+            // commit; an already timed-out transaction never re-fires.
+            if engine == CounterEngine::DeadlineWheel && !tracker.timed_out {
+                wheel.arm(idx, cycle, cycle + tracker.counter.cycles_to_expiry() - 1);
+            }
         }
     }
 
@@ -160,11 +179,13 @@ impl ReadGuard {
                     .remap
                     .acquire(ar.id)
                     .expect("stall decision guaranteed admission");
+                let counter = PrescaledCounter::new(initial_budget, self.prescaler, self.sticky);
+                let fire_in = counter.cycles_to_expiry();
                 let tracker = ReadTracker {
                     ar,
                     phase: ReadPhase::ArHandshake,
                     beats_done: 0,
-                    counter: PrescaledCounter::new(initial_budget, self.prescaler, self.sticky),
+                    counter,
                     budgets,
                     enqueued_at: cycle,
                     phase_started_at: cycle,
@@ -176,6 +197,11 @@ impl ReadGuard {
                     .enqueue(uid, tracker)
                     .expect("stall decision guaranteed capacity");
                 self.ar_pending = Some(idx);
+                if self.engine == CounterEngine::DeadlineWheel {
+                    // First tick lands in this commit, so the expiry can
+                    // fire as early as this very cycle (fire_in >= 1).
+                    self.wheel.arm(idx, cycle, cycle + fire_in - 1);
+                }
             }
         }
 
@@ -183,8 +209,17 @@ impl ReadGuard {
         if obs.ar_fired {
             if let Some(idx) = self.ar_pending.take() {
                 let variant = self.variant;
+                let engine = self.engine;
                 if let Some(entry) = self.ott.get_mut(idx) {
-                    Self::transition(&mut entry.tracker, ReadPhase::DataWait, cycle, variant);
+                    Self::transition(
+                        &mut self.wheel,
+                        engine,
+                        idx,
+                        &mut entry.tracker,
+                        ReadPhase::DataWait,
+                        cycle,
+                        variant,
+                    );
                 }
             }
         }
@@ -195,7 +230,9 @@ impl ReadGuard {
             if let Some(uid) = self.remap.lookup(r.id) {
                 if let Some(idx) = self.ott.head_of(uid) {
                     let variant = self.variant;
+                    let engine = self.engine;
                     if let Some(entry) = self.ott.get_mut(idx) {
+                        let wheel = &mut self.wheel;
                         let t = &mut entry.tracker;
                         let offered_is_final = t.beats_done + 1 == t.ar.len.beats();
                         if t.phase == ReadPhase::DataWait {
@@ -204,9 +241,17 @@ impl ReadGuard {
                             } else {
                                 ReadPhase::BurstTransfer
                             };
-                            Self::transition(t, to, cycle, variant);
+                            Self::transition(wheel, engine, idx, t, to, cycle, variant);
                         } else if t.phase == ReadPhase::BurstTransfer && offered_is_final {
-                            Self::transition(t, ReadPhase::LastReady, cycle, variant);
+                            Self::transition(
+                                wheel,
+                                engine,
+                                idx,
+                                t,
+                                ReadPhase::LastReady,
+                                cycle,
+                                variant,
+                            );
                         }
                     }
                 }
@@ -216,6 +261,7 @@ impl ReadGuard {
             if let Some(uid) = self.remap.lookup(r.id) {
                 if let Some(idx) = self.ott.head_of(uid) {
                     let variant = self.variant;
+                    let engine = self.engine;
                     let mut retire = false;
                     if let Some(entry) = self.ott.get_mut(idx) {
                         let t = &mut entry.tracker;
@@ -225,14 +271,23 @@ impl ReadGuard {
                             // reaching the expected count does likewise
                             // (an RLAST mismatch is a checker violation).
                             if r.last || t.beats_done >= t.ar.len.beats() {
-                                Self::transition(t, ReadPhase::Done, cycle, variant);
+                                Self::transition(
+                                    &mut self.wheel,
+                                    engine,
+                                    idx,
+                                    t,
+                                    ReadPhase::Done,
+                                    cycle,
+                                    variant,
+                                );
                                 retire = true;
                             }
                         }
                     }
                     if retire {
-                        let (_, entry) = self.ott.dequeue_head(uid).expect("head exists");
+                        let (idx, entry) = self.ott.dequeue_head(uid).expect("head exists");
                         self.remap.release(uid);
+                        self.wheel.disarm(idx);
                         let t = entry.tracker;
                         let total = cycle - t.enqueued_at + 1;
                         perf.record(
@@ -259,25 +314,56 @@ impl ReadGuard {
             }
         }
 
-        // 4. Tick every live counter and flag expiries.
-        for (_, entry) in self.ott.iter_mut() {
-            let t = &mut entry.tracker;
-            if t.phase.is_done() || t.timed_out {
-                continue;
+        // 4. Flag expiries (see the write guard for the engine split).
+        match self.engine {
+            CounterEngine::PerCycle => {
+                for (_, entry) in self.ott.iter_mut() {
+                    let t = &mut entry.tracker;
+                    if t.phase.is_done() || t.timed_out {
+                        continue;
+                    }
+                    t.counter.tick();
+                    if t.counter.expired() {
+                        t.timed_out = true;
+                        faults.push(GuardFault {
+                            kind: FaultKind::Timeout,
+                            phase: match self.variant {
+                                TmuVariant::FullCounter => Some(t.phase.into()),
+                                TmuVariant::TinyCounter => None,
+                            },
+                            id: t.ar.id,
+                            addr: t.ar.addr,
+                            inflight_cycles: cycle - t.enqueued_at + 1,
+                        });
+                    }
+                }
             }
-            t.counter.tick();
-            if t.counter.expired() {
-                t.timed_out = true;
-                faults.push(GuardFault {
-                    kind: FaultKind::Timeout,
-                    phase: match self.variant {
-                        TmuVariant::FullCounter => Some(t.phase.into()),
-                        TmuVariant::TinyCounter => None,
-                    },
-                    id: t.ar.id,
-                    addr: t.ar.addr,
-                    inflight_cycles: cycle - t.enqueued_at + 1,
-                });
+            CounterEngine::DeadlineWheel => {
+                while let Some((idx, armed_at)) = self.wheel.pop_expired(cycle) {
+                    let Some(entry) = self.ott.get_mut(idx) else {
+                        continue;
+                    };
+                    let t = &mut entry.tracker;
+                    if t.phase.is_done() || t.timed_out {
+                        continue;
+                    }
+                    t.counter.advance(cycle - armed_at + 1);
+                    debug_assert!(
+                        t.counter.expired(),
+                        "deadline fired but counter not expired"
+                    );
+                    t.timed_out = true;
+                    faults.push(GuardFault {
+                        kind: FaultKind::Timeout,
+                        phase: match self.variant {
+                            TmuVariant::FullCounter => Some(t.phase.into()),
+                            TmuVariant::TinyCounter => None,
+                        },
+                        id: t.ar.id,
+                        addr: t.ar.addr,
+                        inflight_cycles: cycle - t.enqueued_at + 1,
+                    });
+                }
             }
         }
 
@@ -310,9 +396,20 @@ impl ReadGuard {
     pub fn clear(&mut self) {
         self.ott.clear();
         self.remap.clear();
+        self.wheel.clear();
         self.ar_pending = None;
         self.stalled_this_cycle = false;
         self.obs = ReadObservation::default();
+    }
+
+    /// The earliest cycle at which an armed timeout can fire, or `None`
+    /// when nothing is armed (or the per-cycle reference engine is
+    /// selected, which has no schedule).
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        match self.engine {
+            CounterEngine::PerCycle => None,
+            CounterEngine::DeadlineWheel => self.wheel.next_deadline(),
+        }
     }
 
     /// Phase of the transaction currently at the head of `id`'s FIFO

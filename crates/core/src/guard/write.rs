@@ -7,12 +7,13 @@ use serde::{Deserialize, Serialize};
 
 use super::{AbortTxn, GuardFault};
 use crate::budget::{BudgetConfig, QueueLoad, WriteBudgets};
-use crate::config::{TmuConfig, TmuVariant};
+use crate::config::{CounterEngine, TmuConfig, TmuVariant};
 use crate::counter::PrescaledCounter;
 use crate::log::{FaultKind, PerfLog, PerfRecord};
 use crate::ott::{LdIndex, Ott};
 use crate::phase::WritePhase;
 use crate::remap::IdRemapper;
+use crate::wheel::DeadlineWheel;
 
 /// Per-transaction tracker state stored in the write OTT's LD rows.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,11 +63,16 @@ struct WriteObservation {
 #[derive(Debug, Clone)]
 pub struct WriteGuard {
     variant: TmuVariant,
+    engine: CounterEngine,
     prescaler: u64,
     sticky: bool,
     budget_cfg: BudgetConfig,
     ott: Ott<WriteTracker>,
     remap: IdRemapper,
+    /// Deadline schedule for the event-driven counter engine.
+    wheel: DeadlineWheel,
+    /// Last committed cycle (counter materialization reference).
+    last_commit: u64,
     /// Residual beats of previously aborted bursts still draining ahead
     /// of any new write's data (set by the TMU each cycle).
     pending_drain_beats: u64,
@@ -83,11 +89,14 @@ impl WriteGuard {
     pub fn new(cfg: &TmuConfig) -> Self {
         WriteGuard {
             variant: cfg.variant(),
+            engine: cfg.engine(),
             prescaler: cfg.prescaler(),
             sticky: cfg.sticky(),
             budget_cfg: *cfg.budgets(),
             ott: Ott::new(cfg.max_uniq_ids(), cfg.max_outstanding()),
             remap: IdRemapper::new(cfg.max_uniq_ids(), cfg.txn_per_id()),
+            wheel: DeadlineWheel::new(cfg.max_outstanding()),
+            last_commit: 0,
             pending_drain_beats: 0,
             aw_pending: None,
             stalled_this_cycle: false,
@@ -152,7 +161,15 @@ impl WriteGuard {
         }
     }
 
-    fn transition(tracker: &mut WriteTracker, to: WritePhase, cycle: u64, variant: TmuVariant) {
+    fn transition(
+        wheel: &mut DeadlineWheel,
+        engine: CounterEngine,
+        idx: LdIndex,
+        tracker: &mut WriteTracker,
+        to: WritePhase,
+        cycle: u64,
+        variant: TmuVariant,
+    ) {
         let from = tracker.phase;
         if !from.is_done() {
             // Latency of the finished phase: inclusive of this cycle; a
@@ -164,6 +181,11 @@ impl WriteGuard {
         tracker.phase_started_at = cycle + 1;
         if variant == TmuVariant::FullCounter && !to.is_done() {
             tracker.counter.rebudget(tracker.budgets.for_phase(to));
+            // The restarted counter receives its first tick in this
+            // commit; an already timed-out transaction never re-fires.
+            if engine == CounterEngine::DeadlineWheel && !tracker.timed_out {
+                wheel.arm(idx, cycle, cycle + tracker.counter.cycles_to_expiry() - 1);
+            }
         }
     }
 
@@ -175,6 +197,7 @@ impl WriteGuard {
     pub fn commit(&mut self, cycle: u64, perf: &mut PerfLog) -> Vec<GuardFault> {
         let obs = std::mem::take(&mut self.obs);
         let mut faults = Vec::new();
+        self.last_commit = cycle;
 
         // 1. New AW observed: allocate unless stalled or already pending.
         if let Some(aw) = obs.aw_offered {
@@ -189,11 +212,13 @@ impl WriteGuard {
                     .remap
                     .acquire(aw.id)
                     .expect("stall decision guaranteed admission");
+                let counter = PrescaledCounter::new(initial_budget, self.prescaler, self.sticky);
+                let fire_in = counter.cycles_to_expiry();
                 let tracker = WriteTracker {
                     aw,
                     phase: WritePhase::AwHandshake,
                     beats_done: 0,
-                    counter: PrescaledCounter::new(initial_budget, self.prescaler, self.sticky),
+                    counter,
                     budgets,
                     enqueued_at: cycle,
                     phase_started_at: cycle,
@@ -205,6 +230,11 @@ impl WriteGuard {
                     .enqueue(uid, tracker)
                     .expect("stall decision guaranteed capacity");
                 self.aw_pending = Some(idx);
+                if self.engine == CounterEngine::DeadlineWheel {
+                    // First tick lands in this commit, so the expiry can
+                    // fire as early as this very cycle (fire_in >= 1).
+                    self.wheel.arm(idx, cycle, cycle + fire_in - 1);
+                }
             }
         }
 
@@ -212,8 +242,17 @@ impl WriteGuard {
         if obs.aw_fired {
             if let Some(idx) = self.aw_pending.take() {
                 let variant = self.variant;
+                let engine = self.engine;
                 if let Some(entry) = self.ott.get_mut(idx) {
-                    Self::transition(&mut entry.tracker, WritePhase::DataEntry, cycle, variant);
+                    Self::transition(
+                        &mut self.wheel,
+                        engine,
+                        idx,
+                        &mut entry.tracker,
+                        WritePhase::DataEntry,
+                        cycle,
+                        variant,
+                    );
                 }
             }
         }
@@ -222,28 +261,62 @@ impl WriteGuard {
         if obs.w_offered || obs.w_fired {
             if let Some(idx) = self.ott.ei_front() {
                 let variant = self.variant;
+                let engine = self.engine;
                 let mut advance_ei = false;
                 let mut complete_data = false;
                 if let Some(entry) = self.ott.get_mut(idx) {
+                    let wheel = &mut self.wheel;
                     let t = &mut entry.tracker;
                     if obs.w_offered && t.phase == WritePhase::DataEntry {
-                        Self::transition(t, WritePhase::FirstData, cycle, variant);
+                        Self::transition(
+                            wheel,
+                            engine,
+                            idx,
+                            t,
+                            WritePhase::FirstData,
+                            cycle,
+                            variant,
+                        );
                     }
                     if obs.w_fired {
                         match t.phase {
                             WritePhase::FirstData => {
                                 t.beats_done = 1;
                                 if t.beats_done == t.aw.len.beats() {
-                                    Self::transition(t, WritePhase::RespWait, cycle, variant);
+                                    Self::transition(
+                                        wheel,
+                                        engine,
+                                        idx,
+                                        t,
+                                        WritePhase::RespWait,
+                                        cycle,
+                                        variant,
+                                    );
                                     complete_data = true;
                                 } else {
-                                    Self::transition(t, WritePhase::BurstTransfer, cycle, variant);
+                                    Self::transition(
+                                        wheel,
+                                        engine,
+                                        idx,
+                                        t,
+                                        WritePhase::BurstTransfer,
+                                        cycle,
+                                        variant,
+                                    );
                                 }
                             }
                             WritePhase::BurstTransfer => {
                                 t.beats_done += 1;
                                 if t.beats_done == t.aw.len.beats() {
-                                    Self::transition(t, WritePhase::RespWait, cycle, variant);
+                                    Self::transition(
+                                        wheel,
+                                        engine,
+                                        idx,
+                                        t,
+                                        WritePhase::RespWait,
+                                        cycle,
+                                        variant,
+                                    );
                                     complete_data = true;
                                 }
                             }
@@ -267,9 +340,13 @@ impl WriteGuard {
             if let Some(uid) = self.remap.lookup(b.id) {
                 if let Some(idx) = self.ott.head_of(uid) {
                     let variant = self.variant;
+                    let engine = self.engine;
                     if let Some(entry) = self.ott.get_mut(idx) {
                         if entry.tracker.phase == WritePhase::RespWait {
                             Self::transition(
+                                &mut self.wheel,
+                                engine,
+                                idx,
                                 &mut entry.tracker,
                                 WritePhase::RespReady,
                                 cycle,
@@ -288,10 +365,19 @@ impl WriteGuard {
                     .and_then(|idx| self.ott.get(idx))
                     .is_some_and(|e| e.tracker.phase == WritePhase::RespReady);
                 if head_ready {
-                    let (_, entry) = self.ott.dequeue_head(uid).expect("head exists");
+                    let (idx, entry) = self.ott.dequeue_head(uid).expect("head exists");
                     self.remap.release(uid);
+                    self.wheel.disarm(idx);
                     let mut t = entry.tracker;
-                    Self::transition(&mut t, WritePhase::Done, cycle, self.variant);
+                    Self::transition(
+                        &mut self.wheel,
+                        self.engine,
+                        idx,
+                        &mut t,
+                        WritePhase::Done,
+                        cycle,
+                        self.variant,
+                    );
                     let total = cycle - t.enqueued_at + 1;
                     perf.record(
                         PerfRecord {
@@ -311,25 +397,59 @@ impl WriteGuard {
             }
         }
 
-        // 5. Tick every live counter and flag expiries.
-        for (_, entry) in self.ott.iter_mut() {
-            let t = &mut entry.tracker;
-            if t.phase.is_done() || t.timed_out {
-                continue;
+        // 5. Flag expiries. The reference engine ticks every live
+        //    counter each cycle; the deadline wheel only touches the
+        //    counters whose precomputed expiry is due, materializing
+        //    their elapsed ticks on demand.
+        match self.engine {
+            CounterEngine::PerCycle => {
+                for (_, entry) in self.ott.iter_mut() {
+                    let t = &mut entry.tracker;
+                    if t.phase.is_done() || t.timed_out {
+                        continue;
+                    }
+                    t.counter.tick();
+                    if t.counter.expired() {
+                        t.timed_out = true;
+                        faults.push(GuardFault {
+                            kind: FaultKind::Timeout,
+                            phase: match self.variant {
+                                TmuVariant::FullCounter => Some(t.phase.into()),
+                                TmuVariant::TinyCounter => None,
+                            },
+                            id: t.aw.id,
+                            addr: t.aw.addr,
+                            inflight_cycles: cycle - t.enqueued_at + 1,
+                        });
+                    }
+                }
             }
-            t.counter.tick();
-            if t.counter.expired() {
-                t.timed_out = true;
-                faults.push(GuardFault {
-                    kind: FaultKind::Timeout,
-                    phase: match self.variant {
-                        TmuVariant::FullCounter => Some(t.phase.into()),
-                        TmuVariant::TinyCounter => None,
-                    },
-                    id: t.aw.id,
-                    addr: t.aw.addr,
-                    inflight_cycles: cycle - t.enqueued_at + 1,
-                });
+            CounterEngine::DeadlineWheel => {
+                while let Some((idx, armed_at)) = self.wheel.pop_expired(cycle) {
+                    let Some(entry) = self.ott.get_mut(idx) else {
+                        continue;
+                    };
+                    let t = &mut entry.tracker;
+                    if t.phase.is_done() || t.timed_out {
+                        continue;
+                    }
+                    t.counter.advance(cycle - armed_at + 1);
+                    debug_assert!(
+                        t.counter.expired(),
+                        "deadline fired but counter not expired"
+                    );
+                    t.timed_out = true;
+                    faults.push(GuardFault {
+                        kind: FaultKind::Timeout,
+                        phase: match self.variant {
+                            TmuVariant::FullCounter => Some(t.phase.into()),
+                            TmuVariant::TinyCounter => None,
+                        },
+                        id: t.aw.id,
+                        addr: t.aw.addr,
+                        inflight_cycles: cycle - t.enqueued_at + 1,
+                    });
+                }
             }
         }
 
@@ -376,9 +496,21 @@ impl WriteGuard {
     pub fn clear(&mut self) {
         self.ott.clear();
         self.remap.clear();
+        self.wheel.clear();
         self.aw_pending = None;
         self.stalled_this_cycle = false;
         self.obs = WriteObservation::default();
+    }
+
+    /// The earliest cycle at which an armed timeout can fire, or `None`
+    /// when nothing is armed (or the per-cycle reference engine is
+    /// selected, which has no schedule). Monotone under quiescence:
+    /// while no new beats arrive, no deadline can move earlier.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        match self.engine {
+            CounterEngine::PerCycle => None,
+            CounterEngine::DeadlineWheel => self.wheel.next_deadline(),
+        }
     }
 
     /// Phase of the transaction currently at the head of `id`'s FIFO
@@ -396,7 +528,19 @@ impl WriteGuard {
     pub fn debug_entries(&self) -> Vec<(AxiId, WritePhase, PrescaledCounter)> {
         self.ott
             .iter()
-            .map(|(_, e)| (e.tracker.aw.id, e.tracker.phase, e.tracker.counter))
+            .map(|(idx, e)| {
+                let mut counter = e.tracker.counter;
+                // Under the wheel engine stored counters are stale;
+                // materialize the ticks elapsed since the last arm.
+                if self.engine == CounterEngine::DeadlineWheel
+                    && !e.tracker.timed_out
+                    && !e.tracker.phase.is_done()
+                {
+                    let armed_at = self.wheel.armed_at(idx);
+                    counter.advance(self.last_commit.saturating_sub(armed_at) + 1);
+                }
+                (e.tracker.aw.id, e.tracker.phase, counter)
+            })
             .collect()
     }
 

@@ -27,6 +27,8 @@
 //! * [`log`] — error and performance logs.
 //! * [`monitor`] — the top-level [`Tmu`] tying it all together, including
 //!   path severing, `SLVERR` abort, interrupt and reset-request logic.
+//! * [`wheel`] — the event-driven [`wheel::DeadlineWheel`] backing the
+//!   deadline-scheduled counter engine ([`CounterEngine::DeadlineWheel`]).
 //! * [`report`] — summary reporting.
 //!
 //! # Variants
@@ -79,9 +81,10 @@ pub mod ott;
 pub mod phase;
 pub mod remap;
 pub mod report;
+pub mod wheel;
 
 pub use budget::BudgetConfig;
-pub use config::{RegisterFile, TmuConfig, TmuConfigBuilder, TmuVariant};
+pub use config::{CounterEngine, RegisterFile, TmuConfig, TmuConfigBuilder, TmuVariant};
 pub use counter::PrescaledCounter;
 pub use log::{ErrorLog, ErrorRecord, FaultKind, PerfLog, PerfRecord};
 pub use monitor::{Tmu, TmuState};

@@ -372,7 +372,7 @@ impl Tmu {
             return;
         }
         for record in records {
-            self.trace.record(cycle, "tmu", record.to_string());
+            self.trace.record_with(cycle, "tmu", || record.to_string());
             self.err_log.push(record);
             self.regs.hw_note_error();
         }
@@ -396,16 +396,14 @@ impl Tmu {
         self.state = TmuState::Aborting;
         self.stall_aw = false;
         self.stall_ar = false;
-        self.trace.record(
-            cycle,
-            "tmu",
+        let (aborted_writes, aborted_reads, drain) =
+            (self.abort_b.len(), self.abort_r.len(), self.w_drain_beats);
+        self.trace.record_with(cycle, "tmu", || {
             format!(
-                "severed link: aborting {} writes / {} reads, draining {} residual beats",
-                self.abort_b.len(),
-                self.abort_r.len(),
-                self.w_drain_beats
-            ),
-        );
+                "severed link: aborting {aborted_writes} writes / {aborted_reads} reads, \
+                 draining {drain} residual beats"
+            )
+        });
     }
 
     fn commit_aborting(&mut self) {
@@ -472,6 +470,29 @@ impl Tmu {
     #[must_use]
     pub fn outstanding(&self) -> usize {
         self.write_guard.outstanding() + self.read_guard.outstanding()
+    }
+
+    /// The earliest future cycle at which a timeout can fire, across both
+    /// guards, or `None` when no deadline is armed (nothing outstanding,
+    /// the TMU is disabled or mid-recovery, or the per-cycle reference
+    /// engine — which has no schedule — is selected).
+    ///
+    /// This is the fast-forward bound for event-driven harnesses
+    /// (`sim::Simulation::run_until_event`): while the system is
+    /// otherwise quiescent, no observable TMU output can change before
+    /// this cycle. Deadlines only move earlier in response to new beats,
+    /// so a stale bound is always conservative.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        if !self.regs.enabled() || self.state != TmuState::Monitoring {
+            return None;
+        }
+        match (
+            self.write_guard.next_deadline(),
+            self.read_guard.next_deadline(),
+        ) {
+            (Some(w), Some(r)) => Some(w.min(r)),
+            (w, r) => w.or(r),
+        }
     }
 
     /// Residual W beats of aborted writes still being absorbed

@@ -1,0 +1,184 @@
+//! The deadline wheel: event-driven timeout scheduling for the guards.
+//!
+//! The reference model ticks every live [`crate::PrescaledCounter`] every
+//! cycle — O(outstanding) work per simulated cycle, which dominates the
+//! runtime of long stall scenarios and the Fig. 7/8/9 sweeps. The wheel
+//! replaces that with next-event scheduling: whenever a counter is
+//! (re)started, the guard computes the exact future cycle its expiry can
+//! first fire ([`crate::PrescaledCounter::cycles_to_expiry`], a pure
+//! function of the budget, prescale step, and sticky setting) and
+//! registers that deadline here. The per-cycle commit pass then touches
+//! only counters whose deadline is due.
+//!
+//! # Lazy invalidation
+//!
+//! Full-Counter guards restart a transaction's counter at every phase
+//! transition, and LD slots are recycled as transactions retire. Rather
+//! than deleting superseded heap entries (a `BinaryHeap` cannot), each
+//! arm is tagged with a globally unique, monotonically increasing
+//! *stamp*; the slot records its current stamp and a popped entry whose
+//! stamp no longer matches is silently discarded. This makes re-arm and
+//! disarm O(1) (plus an O(log n) push on arm) and immunizes the wheel
+//! against slot reuse.
+//!
+//! # Ordering
+//!
+//! The reference engine reports simultaneous expiries in LD-index order
+//! (its tick loop iterates the LD table in index order). Heap entries
+//! sort by `(fire_cycle, slot, stamp)`, so draining due deadlines yields
+//! the same order — a requirement for cycle-for-cycle log equivalence.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ott::LdIndex;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotState {
+    /// Stamp of the current arm; 0 = disarmed.
+    stamp: u64,
+    /// Cycle whose commit delivers the armed counter's first tick.
+    armed_at: u64,
+}
+
+/// A min-heap of counter deadlines with stamp-based lazy invalidation.
+/// See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct DeadlineWheel {
+    heap: BinaryHeap<Reverse<(u64, LdIndex, u64)>>,
+    slots: Vec<SlotState>,
+    next_stamp: u64,
+}
+
+impl DeadlineWheel {
+    /// A wheel for `capacity` LD slots.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        DeadlineWheel {
+            heap: BinaryHeap::with_capacity(capacity),
+            slots: vec![SlotState::default(); capacity],
+            next_stamp: 0,
+        }
+    }
+
+    /// Registers `slot`'s freshly (re)started counter: its first tick
+    /// lands at commit `armed_at`, and its expiry fires during commit
+    /// `fire_at`. Supersedes any previous arm of the slot.
+    pub fn arm(&mut self, slot: LdIndex, armed_at: u64, fire_at: u64) {
+        self.next_stamp += 1;
+        self.slots[slot] = SlotState {
+            stamp: self.next_stamp,
+            armed_at,
+        };
+        self.heap.push(Reverse((fire_at, slot, self.next_stamp)));
+    }
+
+    /// Cancels `slot`'s pending deadline (transaction retired or timed
+    /// out). The heap entry is left behind and discarded lazily.
+    pub fn disarm(&mut self, slot: LdIndex) {
+        self.slots[slot].stamp = 0;
+    }
+
+    /// The cycle whose commit delivered (or will deliver) the first tick
+    /// of `slot`'s most recent arm.
+    #[must_use]
+    pub fn armed_at(&self, slot: LdIndex) -> u64 {
+        self.slots[slot].armed_at
+    }
+
+    /// The earliest pending deadline, if any. Cleans superseded entries
+    /// off the top of the heap.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        while let Some(&Reverse((fire, slot, stamp))) = self.heap.peek() {
+            if self.slots[slot].stamp == stamp {
+                return Some(fire);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops the next deadline due at or before `now`, returning the slot
+    /// and its arm cycle, or `None` once no armed deadline is due.
+    /// Simultaneous deadlines come out in ascending slot order. The
+    /// popped slot is disarmed.
+    pub fn pop_expired(&mut self, now: u64) -> Option<(LdIndex, u64)> {
+        while let Some(&Reverse((fire, slot, stamp))) = self.heap.peek() {
+            if self.slots[slot].stamp == stamp {
+                if fire > now {
+                    return None;
+                }
+                self.heap.pop();
+                self.slots[slot].stamp = 0;
+                return Some((slot, self.slots[slot].armed_at));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Discards every pending deadline (abort/reset path).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        for slot in &mut self.slots {
+            slot.stamp = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_then_slot_order() {
+        let mut wheel = DeadlineWheel::new(4);
+        wheel.arm(2, 0, 10);
+        wheel.arm(0, 0, 10);
+        wheel.arm(1, 0, 5);
+        assert_eq!(wheel.next_deadline(), Some(5));
+        assert_eq!(wheel.pop_expired(10), Some((1, 0)));
+        assert_eq!(wheel.pop_expired(10), Some((0, 0)));
+        assert_eq!(wheel.pop_expired(10), Some((2, 0)));
+        assert_eq!(wheel.pop_expired(10), None);
+    }
+
+    #[test]
+    fn not_due_yet_stays_armed() {
+        let mut wheel = DeadlineWheel::new(2);
+        wheel.arm(0, 3, 9);
+        assert_eq!(wheel.pop_expired(8), None);
+        assert_eq!(wheel.next_deadline(), Some(9));
+        assert_eq!(wheel.pop_expired(9), Some((0, 3)));
+    }
+
+    #[test]
+    fn rearm_supersedes_previous_deadline() {
+        let mut wheel = DeadlineWheel::new(2);
+        wheel.arm(0, 0, 5);
+        wheel.arm(0, 7, 20); // phase transition: counter restarted
+        assert_eq!(wheel.pop_expired(5), None, "stale entry discarded");
+        assert_eq!(wheel.next_deadline(), Some(20));
+        assert_eq!(wheel.pop_expired(20), Some((0, 7)));
+    }
+
+    #[test]
+    fn disarm_cancels_and_slot_reuse_is_safe() {
+        let mut wheel = DeadlineWheel::new(2);
+        wheel.arm(0, 0, 5);
+        wheel.disarm(0); // transaction retired
+        wheel.arm(0, 2, 30); // LD slot recycled by a new transaction
+        assert_eq!(wheel.pop_expired(10), None);
+        assert_eq!(wheel.pop_expired(30), Some((0, 2)));
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut wheel = DeadlineWheel::new(3);
+        wheel.arm(0, 0, 5);
+        wheel.arm(1, 0, 6);
+        wheel.clear();
+        assert_eq!(wheel.next_deadline(), None);
+        assert_eq!(wheel.pop_expired(u64::MAX), None);
+    }
+}

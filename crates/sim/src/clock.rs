@@ -38,6 +38,14 @@ impl Clock {
         self.cycle += 1;
     }
 
+    /// Jumps directly to `cycle` without simulating the cycles in
+    /// between (event-driven fast-forward over provably idle stretches).
+    /// A target at or before the current cycle is a no-op — the clock
+    /// never moves backwards.
+    pub fn advance_to(&mut self, cycle: u64) {
+        self.cycle = self.cycle.max(cycle);
+    }
+
     /// Cycles elapsed since `earlier` (saturating at zero if `earlier` is
     /// in the future).
     #[must_use]
@@ -166,6 +174,17 @@ mod tests {
         assert_eq!(clk.since(2), 3);
         assert_eq!(clk.since(10), 0, "future reference saturates");
         assert_eq!(clk.to_string(), "cycle 5");
+    }
+
+    #[test]
+    fn advance_to_skips_forward_never_backward() {
+        let mut clk = Clock::new();
+        clk.advance_to(10);
+        assert_eq!(clk.cycle(), 10);
+        clk.advance_to(3);
+        assert_eq!(clk.cycle(), 10, "clock never moves backwards");
+        clk.advance();
+        assert_eq!(clk.cycle(), 11);
     }
 
     #[test]

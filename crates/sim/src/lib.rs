@@ -50,7 +50,7 @@ pub mod vcd;
 
 pub use clock::{Clock, Reset};
 pub use rng::SimRng;
-pub use runner::{RunOutcome, Simulation};
+pub use runner::{RunOutcome, Simulation, StepStatus};
 pub use stats::{Histogram, Stats};
-pub use trace::{Event, EventTrace};
+pub use trace::{Event, EventMsg, EventTrace};
 pub use vcd::VcdWriter;

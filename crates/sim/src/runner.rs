@@ -12,6 +12,21 @@ pub struct RunOutcome {
     pub condition_met: bool,
 }
 
+/// What the step closure of [`Simulation::run_until_event`] reports
+/// after simulating one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// Keep stepping cycle by cycle.
+    Continue,
+    /// The system is quiescent and provably cannot change state before
+    /// the given cycle: the runner fast-forwards the clock there without
+    /// invoking the step closure for the skipped cycles. A target at or
+    /// before the next cycle degrades to [`StepStatus::Continue`].
+    IdleUntil(u64),
+    /// Stop condition reached.
+    Done,
+}
+
 /// Drives a step closure once per cycle and advances the clock.
 ///
 /// The closure receives the clock *before* the commit of the cycle it is
@@ -84,6 +99,49 @@ impl Simulation {
             condition_met: false,
         }
     }
+
+    /// Event-driven variant of [`Simulation::run_until`]: the step
+    /// closure may report [`StepStatus::IdleUntil`] when it can prove the
+    /// system is quiescent until a known future cycle (e.g. every
+    /// component stalled and the earliest timeout deadline known — see
+    /// `Tmu::next_deadline`), and the runner jumps the clock straight
+    /// there in O(1) instead of stepping through the idle stretch.
+    ///
+    /// Skipped cycles are **not** simulated: the closure must only claim
+    /// idleness when no observable state would change. The reported
+    /// target cycle itself *is* simulated (it is where the next event
+    /// fires). `max_cycles` bounds the total elapsed cycles, simulated
+    /// plus skipped, and `RunOutcome::cycles` reports that same total.
+    pub fn run_until_event(
+        &mut self,
+        max_cycles: u64,
+        mut step: impl FnMut(&Clock) -> StepStatus,
+    ) -> RunOutcome {
+        let start = self.clock.cycle();
+        let limit = start.saturating_add(max_cycles);
+        while self.clock.cycle() < limit {
+            let status = step(&self.clock);
+            self.clock.advance();
+            match status {
+                StepStatus::Done => {
+                    return RunOutcome {
+                        cycles: self.clock.cycle() - start,
+                        condition_met: true,
+                    };
+                }
+                StepStatus::IdleUntil(target) => {
+                    // Clamped so a deadline beyond the budget still
+                    // terminates the run at exactly the cycle limit.
+                    self.clock.advance_to(target.min(limit));
+                }
+                StepStatus::Continue => {}
+            }
+        }
+        RunOutcome {
+            cycles: self.clock.cycle() - start,
+            condition_met: false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +189,53 @@ mod tests {
         let mut simulation = Simulation::new();
         simulation.run(3, |clk| seen.push(clk.cycle()));
         assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_until_event_fast_forwards_idle_stretches() {
+        let mut stepped = Vec::new();
+        let mut simulation = Simulation::new();
+        // Idle until cycle 100, then an "event" at 100 finishes the run.
+        let outcome = simulation.run_until_event(1000, |clk| {
+            stepped.push(clk.cycle());
+            match clk.cycle() {
+                0 => StepStatus::IdleUntil(100),
+                100 => StepStatus::Done,
+                _ => StepStatus::Continue,
+            }
+        });
+        assert_eq!(stepped, vec![0, 100], "idle stretch must be skipped");
+        assert!(outcome.condition_met);
+        assert_eq!(outcome.cycles, 101, "skipped cycles count as elapsed");
+        assert_eq!(simulation.clock().cycle(), 101);
+    }
+
+    #[test]
+    fn run_until_event_clamps_skip_to_the_cycle_limit() {
+        let mut steps = 0;
+        let mut simulation = Simulation::new();
+        let outcome = simulation.run_until_event(50, |_| {
+            steps += 1;
+            StepStatus::IdleUntil(10_000)
+        });
+        assert!(!outcome.condition_met);
+        assert_eq!(outcome.cycles, 50);
+        assert_eq!(steps, 1, "one step, then the clamp ends the run");
+        assert_eq!(simulation.clock().cycle(), 50);
+    }
+
+    #[test]
+    fn run_until_event_stale_target_degrades_to_stepping() {
+        let mut steps = 0;
+        let mut simulation = Simulation::new();
+        let outcome = simulation.run_until_event(5, |clk| {
+            steps += 1;
+            // A target at or behind the next cycle must not stall or
+            // rewind the clock.
+            StepStatus::IdleUntil(clk.cycle())
+        });
+        assert!(!outcome.condition_met);
+        assert_eq!(steps, 5);
+        assert_eq!(simulation.clock().cycle(), 5);
     }
 }

@@ -3,9 +3,88 @@
 //! Components push timestamped [`Event`]s into an [`EventTrace`]; tests
 //! and debug dumps read them back. The trace is a ring buffer so
 //! long-running simulations never grow unbounded.
+//!
+//! Tracing sits on the simulator's hot path, so recording is designed to
+//! cost nothing when it isn't wanted:
+//!
+//! * Fixed messages are [`EventMsg::Static`] — no allocation, ever.
+//! * Formatted messages go through [`EventTrace::record_with`], whose
+//!   closure only runs (and only allocates) if the trace is enabled.
+//! * A disabled trace ([`EventTrace::set_enabled`]) rejects events with a
+//!   single branch.
 
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::fmt;
+
+/// An event description: either a static string (the common, fixed-text
+/// case — free to construct) or an owned formatted string.
+#[derive(Debug, Clone)]
+pub enum EventMsg {
+    /// Fixed message text; recording it never allocates.
+    Static(&'static str),
+    /// Formatted message text (built lazily via
+    /// [`EventTrace::record_with`] on the hot path).
+    Owned(String),
+}
+
+impl EventMsg {
+    /// The message text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        match self {
+            EventMsg::Static(s) => s,
+            EventMsg::Owned(s) => s,
+        }
+    }
+}
+
+impl From<&'static str> for EventMsg {
+    fn from(s: &'static str) -> Self {
+        EventMsg::Static(s)
+    }
+}
+
+impl From<String> for EventMsg {
+    fn from(s: String) -> Self {
+        EventMsg::Owned(s)
+    }
+}
+
+impl From<Cow<'static, str>> for EventMsg {
+    fn from(s: Cow<'static, str>) -> Self {
+        match s {
+            Cow::Borrowed(b) => EventMsg::Static(b),
+            Cow::Owned(o) => EventMsg::Owned(o),
+        }
+    }
+}
+
+impl fmt::Display for EventMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq for EventMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for EventMsg {}
+
+impl PartialEq<str> for EventMsg {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for EventMsg {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
 
 /// One timestamped trace entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,7 +94,7 @@ pub struct Event {
     /// Component that emitted it (static so emitting is allocation-light).
     pub source: &'static str,
     /// Event description.
-    pub message: String,
+    pub message: EventMsg,
 }
 
 impl fmt::Display for Event {
@@ -39,11 +118,18 @@ impl fmt::Display for Event {
 /// assert_eq!(trace.len(), 2); // oldest evicted
 /// assert!(trace.iter().any(|e| e.message == "reset"));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EventTrace {
     events: VecDeque<Event>,
     capacity: usize,
     dropped: u64,
+    enabled: bool,
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventTrace {
@@ -68,11 +154,53 @@ impl EventTrace {
             events: VecDeque::with_capacity(capacity),
             capacity,
             dropped: 0,
+            enabled: true,
         }
     }
 
+    /// Turns recording on or off. While disabled, `record`/`record_with`
+    /// are a single branch and retained events stay untouched.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is currently enabled. Callers with expensive
+    /// message construction that can't use [`EventTrace::record_with`]
+    /// can gate on this.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Records an event, evicting the oldest if the ring is full.
-    pub fn record(&mut self, cycle: u64, source: &'static str, message: impl Into<String>) {
+    ///
+    /// Prefer passing `&'static str` messages (no allocation); for
+    /// formatted messages on a hot path use
+    /// [`EventTrace::record_with`] so the formatting is skipped when the
+    /// trace is disabled.
+    pub fn record(&mut self, cycle: u64, source: &'static str, message: impl Into<EventMsg>) {
+        if !self.enabled {
+            return;
+        }
+        self.push(cycle, source, message.into());
+    }
+
+    /// Records an event whose message is built lazily: `message()` runs
+    /// only if the trace is enabled, so disabled tracing never pays for
+    /// formatting or allocation.
+    pub fn record_with<M: Into<EventMsg>>(
+        &mut self,
+        cycle: u64,
+        source: &'static str,
+        message: impl FnOnce() -> M,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(cycle, source, message().into());
+    }
+
+    fn push(&mut self, cycle: u64, source: &'static str, message: EventMsg) {
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped += 1;
@@ -80,7 +208,7 @@ impl EventTrace {
         self.events.push_back(Event {
             cycle,
             source,
-            message: message.into(),
+            message,
         });
     }
 
@@ -169,8 +297,8 @@ mod tests {
     #[test]
     fn clear_keeps_dropped_counter() {
         let mut trace = EventTrace::with_capacity(1);
-        trace.record(0, "a", "1");
-        trace.record(1, "a", "2");
+        trace.record(0, "a", "1".to_string());
+        trace.record(1, "a", "2".to_string());
         trace.clear();
         assert!(trace.is_empty());
         assert_eq!(trace.dropped(), 1);
@@ -189,5 +317,32 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_rejected() {
         let _ = EventTrace::with_capacity(0);
+    }
+
+    #[test]
+    fn static_and_owned_messages_compare_equal() {
+        assert_eq!(EventMsg::Static("x"), EventMsg::Owned("x".to_string()));
+        assert_eq!(EventMsg::Static("x"), "x");
+        assert_ne!(EventMsg::Owned("x".to_string()), "y");
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing_and_skips_lazy_formatting() {
+        let mut trace = EventTrace::new();
+        trace.record(0, "a", "kept");
+        trace.set_enabled(false);
+        assert!(!trace.enabled());
+        trace.record(1, "a", "lost");
+        let mut built = false;
+        trace.record_with(2, "a", || {
+            built = true;
+            format!("expensive {}", 42)
+        });
+        assert!(!built, "closure must not run while disabled");
+        assert_eq!(trace.len(), 1);
+        trace.set_enabled(true);
+        trace.record_with(3, "a", || format!("expensive {}", 43));
+        assert_eq!(trace.len(), 2);
+        assert!(trace.iter().any(|e| e.message == "expensive 43"));
     }
 }

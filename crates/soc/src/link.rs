@@ -69,6 +69,27 @@ impl AxiSubordinate for DeadSub {
     fn reset(&mut self) {}
 }
 
+/// A subordinate that accepts every request handshake (AW/W/AR `ready`
+/// high) but never produces a B or R response: transactions sail through
+/// their address and data phases and then pile up awaiting responses
+/// until the OTT saturates. This is the worst case for a per-cycle
+/// counter engine — the maximum number of live counters, all ticking —
+/// and the benchmark scenario for the deadline-wheel fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlackHoleSub;
+
+impl AxiSubordinate for BlackHoleSub {
+    fn drive(&mut self, port: &mut AxiPort) {
+        port.aw.set_ready(true);
+        port.w.set_ready(true);
+        port.ar.set_ready(true);
+    }
+
+    fn commit(&mut self, _port: &AxiPort) {}
+
+    fn reset(&mut self) {}
+}
+
 /// One guarded link. See the [module docs](self).
 ///
 /// # Example
@@ -204,6 +225,21 @@ impl<S: AxiSubordinate> GuardedLink<S> {
     #[must_use]
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Jumps the link's cycle counter to `cycle` without simulating the
+    /// cycles in between; a target at or before the current cycle is a
+    /// no-op.
+    ///
+    /// This is the event-driven fast-forward hook
+    /// (`sim::Simulation::run_until_event`): the **caller** asserts that
+    /// the skipped stretch is quiescent — every wire stalled, no fault
+    /// recovery or reset in progress, no injector activation pending —
+    /// so that the skipped `step()` calls would not have changed any
+    /// observable state. Under the TMU's deadline-wheel engine, the
+    /// latest safe target is `tmu.next_deadline()`.
+    pub fn fast_forward_to(&mut self, cycle: u64) {
+        self.cycle = self.cycle.max(cycle);
     }
 
     /// Cycle the TMU interrupt first asserted.

@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses: `Criterion::bench_function`, `benchmark_group`, `Bencher::iter`
+//! / `iter_batched_ref`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until ~`MEASURE_MS` of wall-clock has accumulated, and reports
+//! the mean time per iteration. No statistics, plots, or baselines — just
+//! honest wall-clock numbers printed one per line so sweep harnesses can
+//! parse them.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+const WARMUP_MS: u64 = 50;
+const MEASURE_MS: u64 = 300;
+
+/// How batched setup state is sized (accepted for API compatibility; the
+/// stand-in always re-runs setup per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Fresh state for every routine call.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Nanoseconds per iteration, filled by the `iter*` methods.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` and records the mean cost per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        let warm_until = Instant::now() + Duration::from_millis(WARMUP_MS);
+        let mut batch: u64 = 1;
+        while Instant::now() < warm_until {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        // Measure.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let budget = Duration::from_millis(MEASURE_MS);
+        while total < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.result_ns = total.as_secs_f64() * 1e9 / iters as f64;
+    }
+
+    /// Times `routine` over state rebuilt by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched_ref<S, O, Setup, Routine>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(&mut S) -> O,
+    {
+        // Warmup.
+        let warm_until = Instant::now() + Duration::from_millis(WARMUP_MS);
+        while Instant::now() < warm_until {
+            let mut state = setup();
+            black_box(routine(&mut state));
+        }
+        // Measure: time only the routine.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let budget = Duration::from_millis(MEASURE_MS);
+        while total < budget {
+            let mut state = setup();
+            let start = Instant::now();
+            black_box(routine(&mut state));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result_ns = total.as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+fn print_result(name: &str, ns: f64) {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "us")
+    } else {
+        (ns, "ns")
+    };
+    println!("{name:<48} {value:>10.3} {unit}/iter");
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { result_ns: 0.0 };
+        f(&mut b);
+        print_result(name, b.result_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (prefixes each entry's name).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { result_ns: 0.0 };
+        f(&mut b);
+        print_result(&format!("{}/{}", self.name, name), b.result_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_nonzero_time() {
+        let mut b = Bencher { result_ns: 0.0 };
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert!(b.result_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_ref_passes_state() {
+        let mut b = Bencher { result_ns: 0.0 };
+        b.iter_batched_ref(
+            || vec![1u64, 2, 3],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.result_ns > 0.0);
+    }
+}
