@@ -9,8 +9,8 @@ use std::time::Instant;
 use faults::FaultClass;
 use tmu::{CounterEngine, TmuVariant};
 use tmu_bench::hotpath::{
-    run_saturated_stall, run_saturated_stall_fastforward, StallRun, HOTPATH_BUDGET,
-    HOTPATH_OUTSTANDING,
+    run_saturated_stall, run_saturated_stall_fastforward, run_saturated_stall_with_telemetry,
+    StallRun, HOTPATH_BUDGET, HOTPATH_OUTSTANDING,
 };
 use tmu_bench::parallel::{default_threads, fig9_parallel};
 use tmu_bench::table::Table;
@@ -111,6 +111,34 @@ fn main() {
         );
     }
 
+    // Telemetry overhead on the wheel engine: a disabled hub must cost
+    // one branch per record call, so the telemetry-disabled run must sit
+    // within noise of the plain wheel run (acceptance: ratio <= 1.05).
+    let tel_variant = TmuVariant::FullCounter;
+    let (tel_off_s, tel_off) =
+        time_min(|| run_saturated_stall_with_telemetry(tel_variant, HOTPATH_BUDGET, false));
+    let (tel_on_s, tel_on) =
+        time_min(|| run_saturated_stall_with_telemetry(tel_variant, HOTPATH_BUDGET, true));
+    assert_eq!(
+        (tel_off.first_fault_cycle, tel_off.inflight_cycles),
+        (tel_on.first_fault_cycle, tel_on.inflight_cycles),
+        "telemetry changed the benchmark outcome"
+    );
+    let wheel_baseline_s = stalls
+        .iter()
+        .find(|m| m.variant == tel_variant)
+        .expect("FullCounter measured above")
+        .wheel_s;
+    let disabled_ratio = tel_off_s / wheel_baseline_s;
+    let enabled_ratio = tel_on_s / tel_off_s;
+    println!(
+        "\ntelemetry overhead ({tel_variant:?}, wheel engine): baseline {:.3} ms, \
+         disabled {:.3} ms ({disabled_ratio:.3}x), enabled {:.3} ms ({enabled_ratio:.2}x)",
+        wheel_baseline_s * 1e3,
+        tel_off_s * 1e3,
+        tel_on_s * 1e3,
+    );
+
     let threads = default_threads();
     let classes: Vec<FaultClass> = FaultClass::WRITE_CLASSES
         .iter()
@@ -161,6 +189,14 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"telemetry\": {{\"variant\": \"{tel_variant:?}\", \"wheel_baseline_s\": {}, \"disabled_s\": {}, \"enabled_s\": {}, \"disabled_overhead_ratio\": {}, \"enabled_overhead_ratio\": {}}},\n",
+        json_f(wheel_baseline_s),
+        json_f(tel_off_s),
+        json_f(tel_on_s),
+        json_f(disabled_ratio),
+        json_f(enabled_ratio)
+    ));
     json.push_str(&format!(
         "  \"fig9_sweep\": {{\"variants\": 2, \"classes\": {}, \"host_cpus\": {}, \"threads\": {}, \"serial_s\": {}, \"parallel_s\": {}, \"speedup\": {}}}\n",
         classes.len(),

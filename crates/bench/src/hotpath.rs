@@ -22,7 +22,7 @@
 use sim::{Simulation, StepStatus};
 use soc::link::{BlackHoleSub, GuardedLink};
 use soc::manager::TrafficPattern;
-use tmu::{BudgetConfig, CounterEngine, TmuConfig, TmuVariant};
+use tmu::{BudgetConfig, CounterEngine, TelemetryConfig, TmuConfig, TmuVariant};
 
 /// Outstanding transactions at saturation, capped by the manager's
 /// issue window. The TMU itself is provisioned with headroom (4 unique
@@ -130,6 +130,27 @@ pub fn run_saturated_stall(variant: TmuVariant, engine: CounterEngine, budget: u
     stall_result(&link, link.cycle())
 }
 
+/// Runs the saturated stall scenario on the deadline-wheel engine with
+/// the unified telemetry layer either enabled (default config) or left
+/// disabled — the measurement behind the `disabled_overhead_ratio`
+/// acceptance bound: a disabled hub must cost one branch per record
+/// call, so this run must not be measurably slower than the plain wheel
+/// run.
+#[must_use]
+pub fn run_saturated_stall_with_telemetry(
+    variant: TmuVariant,
+    budget: u64,
+    telemetry: bool,
+) -> StallRun {
+    let mut link = stall_link(variant, CounterEngine::DeadlineWheel, budget);
+    if telemetry {
+        link.enable_telemetry(TelemetryConfig::default());
+    }
+    let detected = link.run_until(cycle_limit(budget), |l| l.tmu.faults_detected() > 0);
+    assert!(detected, "saturated stall must time out");
+    stall_result(&link, link.cycle())
+}
+
 /// Runs the same scenario under the deadline-wheel engine with
 /// event-driven fast-forward: once the OTT is saturated and every issued
 /// write's data has been delivered, nothing can change until the
@@ -202,6 +223,21 @@ mod tests {
                 fast.steps_executed,
                 stepped.steps_executed
             );
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_outcome() {
+        for variant in [TmuVariant::TinyCounter, TmuVariant::FullCounter] {
+            let off = run_saturated_stall_with_telemetry(variant, TEST_BUDGET, false);
+            let on = run_saturated_stall_with_telemetry(variant, TEST_BUDGET, true);
+            assert_eq!(
+                (off.first_fault_cycle, off.inflight_cycles),
+                (on.first_fault_cycle, on.inflight_cycles),
+                "{variant:?}: telemetry must be observation-only"
+            );
+            let plain = run_saturated_stall(variant, CounterEngine::DeadlineWheel, TEST_BUDGET);
+            assert_eq!(off, plain, "disabled telemetry is the plain wheel run");
         }
     }
 

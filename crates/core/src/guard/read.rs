@@ -4,6 +4,7 @@ use axi4::beat::{ArBeat, RBeat};
 use axi4::channel::AxiPort;
 use axi4::AxiId;
 use serde::{Deserialize, Serialize};
+use tmu_telemetry::{Dir, FaultClass, TelemetryHub, TraceEvent};
 
 use super::{AbortTxn, GuardFault};
 use crate::budget::{BudgetConfig, QueueLoad, ReadBudgets};
@@ -73,6 +74,9 @@ pub struct ReadGuard {
 }
 
 impl ReadGuard {
+    /// Telemetry source tag for this guard.
+    const SOURCE: &'static str = "tmu.read";
+
     /// Builds the guard for a TMU configuration.
     #[must_use]
     pub fn new(cfg: &TmuConfig) -> Self {
@@ -100,6 +104,14 @@ impl ReadGuard {
     #[must_use]
     pub fn outstanding(&self) -> usize {
         self.ott.len()
+    }
+
+    /// Entries currently held by this guard's deadline wheel, including
+    /// lazily-invalidated ones (telemetry gauge; 0 under the per-cycle
+    /// reference engine).
+    #[must_use]
+    pub fn wheel_depth(&self) -> usize {
+        self.wheel.depth()
     }
 
     /// Whether a new AR with `id` must be stalled this cycle.
@@ -133,6 +145,7 @@ impl ReadGuard {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn transition(
         wheel: &mut DeadlineWheel,
         engine: CounterEngine,
@@ -141,6 +154,7 @@ impl ReadGuard {
         to: ReadPhase,
         cycle: u64,
         variant: TmuVariant,
+        telemetry: &mut TelemetryHub,
     ) {
         let from = tracker.phase;
         if !from.is_done() {
@@ -149,18 +163,59 @@ impl ReadGuard {
         }
         tracker.phase = to;
         tracker.phase_started_at = cycle + 1;
+        if !to.is_done() {
+            telemetry.record(
+                cycle,
+                Self::SOURCE,
+                TraceEvent::PhaseTransition {
+                    dir: Dir::Read,
+                    id: tracker.ar.id.0,
+                    slot: idx as u32,
+                    from: from.into(),
+                    to: to.into(),
+                },
+            );
+        }
         if variant == TmuVariant::FullCounter && !to.is_done() {
-            tracker.counter.rebudget(tracker.budgets.for_phase(to));
+            let budget = tracker.budgets.for_phase(to);
+            tracker.counter.rebudget(budget);
+            telemetry.record(
+                cycle,
+                Self::SOURCE,
+                TraceEvent::Rebudget {
+                    dir: Dir::Read,
+                    id: tracker.ar.id.0,
+                    slot: idx as u32,
+                    budget,
+                },
+            );
             // The restarted counter receives its first tick in this
             // commit; an already timed-out transaction never re-fires.
             if engine == CounterEngine::DeadlineWheel && !tracker.timed_out {
-                wheel.arm(idx, cycle, cycle + tracker.counter.cycles_to_expiry() - 1);
+                let fire_at = cycle + tracker.counter.cycles_to_expiry() - 1;
+                wheel.arm(idx, cycle, fire_at);
+                telemetry.record(
+                    cycle,
+                    Self::SOURCE,
+                    TraceEvent::WheelArm {
+                        dir: Dir::Read,
+                        slot: idx as u32,
+                        fire_at,
+                    },
+                );
             }
         }
     }
 
     /// Advances the phase machines, ticks counters, and reports faults.
-    pub fn commit(&mut self, cycle: u64, perf: &mut PerfLog) -> Vec<GuardFault> {
+    /// `telemetry` receives the structured event stream (a disabled hub
+    /// costs one branch per event).
+    pub fn commit(
+        &mut self,
+        cycle: u64,
+        perf: &mut PerfLog,
+        telemetry: &mut TelemetryHub,
+    ) -> Vec<GuardFault> {
         let obs = std::mem::take(&mut self.obs);
         let mut faults = Vec::new();
 
@@ -197,10 +252,32 @@ impl ReadGuard {
                     .enqueue(uid, tracker)
                     .expect("stall decision guaranteed capacity");
                 self.ar_pending = Some(idx);
+                telemetry.record(
+                    cycle,
+                    Self::SOURCE,
+                    TraceEvent::OttEnqueue {
+                        dir: Dir::Read,
+                        id: ar.id.0,
+                        addr: ar.addr.0,
+                        beats: ar.len.beats(),
+                        slot: idx as u32,
+                        phase: ReadPhase::ArHandshake.into(),
+                    },
+                );
                 if self.engine == CounterEngine::DeadlineWheel {
                     // First tick lands in this commit, so the expiry can
                     // fire as early as this very cycle (fire_in >= 1).
-                    self.wheel.arm(idx, cycle, cycle + fire_in - 1);
+                    let fire_at = cycle + fire_in - 1;
+                    self.wheel.arm(idx, cycle, fire_at);
+                    telemetry.record(
+                        cycle,
+                        Self::SOURCE,
+                        TraceEvent::WheelArm {
+                            dir: Dir::Read,
+                            slot: idx as u32,
+                            fire_at,
+                        },
+                    );
                 }
             }
         }
@@ -219,6 +296,7 @@ impl ReadGuard {
                         ReadPhase::DataWait,
                         cycle,
                         variant,
+                        telemetry,
                     );
                 }
             }
@@ -241,7 +319,7 @@ impl ReadGuard {
                             } else {
                                 ReadPhase::BurstTransfer
                             };
-                            Self::transition(wheel, engine, idx, t, to, cycle, variant);
+                            Self::transition(wheel, engine, idx, t, to, cycle, variant, telemetry);
                         } else if t.phase == ReadPhase::BurstTransfer && offered_is_final {
                             Self::transition(
                                 wheel,
@@ -251,6 +329,7 @@ impl ReadGuard {
                                 ReadPhase::LastReady,
                                 cycle,
                                 variant,
+                                telemetry,
                             );
                         }
                     }
@@ -279,6 +358,7 @@ impl ReadGuard {
                                     ReadPhase::Done,
                                     cycle,
                                     variant,
+                                    telemetry,
                                 );
                                 retire = true;
                             }
@@ -309,6 +389,16 @@ impl ReadGuard {
                             },
                             t.ar.size.bytes(),
                         );
+                        telemetry.record(
+                            cycle,
+                            Self::SOURCE,
+                            TraceEvent::OttDequeue {
+                                dir: Dir::Read,
+                                id: t.ar.id.0,
+                                slot: idx as u32,
+                                total_cycles: total,
+                            },
+                        );
                     }
                 }
             }
@@ -325,6 +415,19 @@ impl ReadGuard {
                     t.counter.tick();
                     if t.counter.expired() {
                         t.timed_out = true;
+                        telemetry.record(
+                            cycle,
+                            Self::SOURCE,
+                            TraceEvent::Fault {
+                                class: FaultClass::Timeout,
+                                dir: Some(Dir::Read),
+                                id: t.ar.id.0,
+                                phase: match self.variant {
+                                    TmuVariant::FullCounter => Some(t.phase.into()),
+                                    TmuVariant::TinyCounter => None,
+                                },
+                            },
+                        );
                         faults.push(GuardFault {
                             kind: FaultKind::Timeout,
                             phase: match self.variant {
@@ -353,6 +456,28 @@ impl ReadGuard {
                         "deadline fired but counter not expired"
                     );
                     t.timed_out = true;
+                    telemetry.record(
+                        cycle,
+                        Self::SOURCE,
+                        TraceEvent::WheelFire {
+                            dir: Dir::Read,
+                            slot: idx as u32,
+                            armed_at,
+                        },
+                    );
+                    telemetry.record(
+                        cycle,
+                        Self::SOURCE,
+                        TraceEvent::Fault {
+                            class: FaultClass::Timeout,
+                            dir: Some(Dir::Read),
+                            id: t.ar.id.0,
+                            phase: match self.variant {
+                                TmuVariant::FullCounter => Some(t.phase.into()),
+                                TmuVariant::TinyCounter => None,
+                            },
+                        },
+                    );
                     faults.push(GuardFault {
                         kind: FaultKind::Timeout,
                         phase: match self.variant {
@@ -367,6 +492,17 @@ impl ReadGuard {
             }
         }
 
+        if self.stalled_this_cycle {
+            // Saturation backpressure held off a new AR this cycle.
+            telemetry.record(
+                cycle,
+                Self::SOURCE,
+                TraceEvent::Counter {
+                    name: "tmu.read.stall_cycles",
+                    delta: 1,
+                },
+            );
+        }
         self.stalled_this_cycle = false;
         faults
     }

@@ -9,6 +9,7 @@ use crate::budget::BudgetConfig;
 use crate::config::{TmuConfig, TmuVariant};
 use crate::log::PerfLog;
 use crate::phase::{ReadPhase, WritePhase};
+use tmu_telemetry::TelemetryHub;
 
 fn cfg(variant: TmuVariant) -> TmuConfig {
     TmuConfig::builder()
@@ -52,7 +53,7 @@ fn wg_cycle(
     setup(&mut port);
     guard.decide_stall(port.aw.beat());
     guard.observe(&port);
-    guard.commit(cycle, perf)
+    guard.commit(cycle, perf, &mut TelemetryHub::default())
 }
 
 fn rg_cycle(
@@ -66,7 +67,7 @@ fn rg_cycle(
     setup(&mut port);
     guard.decide_stall(port.ar.beat());
     guard.observe(&port);
-    guard.commit(cycle, perf)
+    guard.commit(cycle, perf, &mut TelemetryHub::default())
 }
 
 #[test]

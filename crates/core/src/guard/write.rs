@@ -4,6 +4,7 @@ use axi4::beat::{AwBeat, BBeat};
 use axi4::channel::AxiPort;
 use axi4::AxiId;
 use serde::{Deserialize, Serialize};
+use tmu_telemetry::{Dir, FaultClass, TelemetryHub, TraceEvent};
 
 use super::{AbortTxn, GuardFault};
 use crate::budget::{BudgetConfig, QueueLoad, WriteBudgets};
@@ -84,6 +85,9 @@ pub struct WriteGuard {
 }
 
 impl WriteGuard {
+    /// Telemetry source tag for this guard.
+    const SOURCE: &'static str = "tmu.write";
+
     /// Builds the guard for a TMU configuration.
     #[must_use]
     pub fn new(cfg: &TmuConfig) -> Self {
@@ -121,6 +125,14 @@ impl WriteGuard {
     #[must_use]
     pub fn outstanding(&self) -> usize {
         self.ott.len()
+    }
+
+    /// Entries currently held by this guard's deadline wheel, including
+    /// lazily-invalidated ones (telemetry gauge; 0 under the per-cycle
+    /// reference engine).
+    #[must_use]
+    pub fn wheel_depth(&self) -> usize {
+        self.wheel.depth()
     }
 
     /// Whether a new AW with `id` must be stalled this cycle
@@ -161,6 +173,7 @@ impl WriteGuard {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn transition(
         wheel: &mut DeadlineWheel,
         engine: CounterEngine,
@@ -169,6 +182,7 @@ impl WriteGuard {
         to: WritePhase,
         cycle: u64,
         variant: TmuVariant,
+        telemetry: &mut TelemetryHub,
     ) {
         let from = tracker.phase;
         if !from.is_done() {
@@ -179,12 +193,46 @@ impl WriteGuard {
         }
         tracker.phase = to;
         tracker.phase_started_at = cycle + 1;
+        if !to.is_done() {
+            telemetry.record(
+                cycle,
+                Self::SOURCE,
+                TraceEvent::PhaseTransition {
+                    dir: Dir::Write,
+                    id: tracker.aw.id.0,
+                    slot: idx as u32,
+                    from: from.into(),
+                    to: to.into(),
+                },
+            );
+        }
         if variant == TmuVariant::FullCounter && !to.is_done() {
-            tracker.counter.rebudget(tracker.budgets.for_phase(to));
+            let budget = tracker.budgets.for_phase(to);
+            tracker.counter.rebudget(budget);
+            telemetry.record(
+                cycle,
+                Self::SOURCE,
+                TraceEvent::Rebudget {
+                    dir: Dir::Write,
+                    id: tracker.aw.id.0,
+                    slot: idx as u32,
+                    budget,
+                },
+            );
             // The restarted counter receives its first tick in this
             // commit; an already timed-out transaction never re-fires.
             if engine == CounterEngine::DeadlineWheel && !tracker.timed_out {
-                wheel.arm(idx, cycle, cycle + tracker.counter.cycles_to_expiry() - 1);
+                let fire_at = cycle + tracker.counter.cycles_to_expiry() - 1;
+                wheel.arm(idx, cycle, fire_at);
+                telemetry.record(
+                    cycle,
+                    Self::SOURCE,
+                    TraceEvent::WheelArm {
+                        dir: Dir::Write,
+                        slot: idx as u32,
+                        fire_at,
+                    },
+                );
             }
         }
     }
@@ -193,8 +241,14 @@ impl WriteGuard {
     ///
     /// `cycle` is the current cycle index; `perf` receives a record for
     /// every completed transaction (Full-Counter granularity when the
-    /// variant is Fc).
-    pub fn commit(&mut self, cycle: u64, perf: &mut PerfLog) -> Vec<GuardFault> {
+    /// variant is Fc); `telemetry` receives the structured event stream
+    /// (a disabled hub costs one branch per event).
+    pub fn commit(
+        &mut self,
+        cycle: u64,
+        perf: &mut PerfLog,
+        telemetry: &mut TelemetryHub,
+    ) -> Vec<GuardFault> {
         let obs = std::mem::take(&mut self.obs);
         let mut faults = Vec::new();
         self.last_commit = cycle;
@@ -230,10 +284,32 @@ impl WriteGuard {
                     .enqueue(uid, tracker)
                     .expect("stall decision guaranteed capacity");
                 self.aw_pending = Some(idx);
+                telemetry.record(
+                    cycle,
+                    Self::SOURCE,
+                    TraceEvent::OttEnqueue {
+                        dir: Dir::Write,
+                        id: aw.id.0,
+                        addr: aw.addr.0,
+                        beats: aw.len.beats(),
+                        slot: idx as u32,
+                        phase: WritePhase::AwHandshake.into(),
+                    },
+                );
                 if self.engine == CounterEngine::DeadlineWheel {
                     // First tick lands in this commit, so the expiry can
                     // fire as early as this very cycle (fire_in >= 1).
-                    self.wheel.arm(idx, cycle, cycle + fire_in - 1);
+                    let fire_at = cycle + fire_in - 1;
+                    self.wheel.arm(idx, cycle, fire_at);
+                    telemetry.record(
+                        cycle,
+                        Self::SOURCE,
+                        TraceEvent::WheelArm {
+                            dir: Dir::Write,
+                            slot: idx as u32,
+                            fire_at,
+                        },
+                    );
                 }
             }
         }
@@ -252,6 +328,7 @@ impl WriteGuard {
                         WritePhase::DataEntry,
                         cycle,
                         variant,
+                        telemetry,
                     );
                 }
             }
@@ -276,6 +353,7 @@ impl WriteGuard {
                             WritePhase::FirstData,
                             cycle,
                             variant,
+                            telemetry,
                         );
                     }
                     if obs.w_fired {
@@ -291,6 +369,7 @@ impl WriteGuard {
                                         WritePhase::RespWait,
                                         cycle,
                                         variant,
+                                        telemetry,
                                     );
                                     complete_data = true;
                                 } else {
@@ -302,6 +381,7 @@ impl WriteGuard {
                                         WritePhase::BurstTransfer,
                                         cycle,
                                         variant,
+                                        telemetry,
                                     );
                                 }
                             }
@@ -316,6 +396,7 @@ impl WriteGuard {
                                         WritePhase::RespWait,
                                         cycle,
                                         variant,
+                                        telemetry,
                                     );
                                     complete_data = true;
                                 }
@@ -351,6 +432,7 @@ impl WriteGuard {
                                 WritePhase::RespReady,
                                 cycle,
                                 variant,
+                                telemetry,
                             );
                         }
                     }
@@ -377,6 +459,7 @@ impl WriteGuard {
                         WritePhase::Done,
                         cycle,
                         self.variant,
+                        telemetry,
                     );
                     let total = cycle - t.enqueued_at + 1;
                     perf.record(
@@ -390,6 +473,16 @@ impl WriteGuard {
                             completed_at: cycle,
                         },
                         t.aw.size.bytes(),
+                    );
+                    telemetry.record(
+                        cycle,
+                        Self::SOURCE,
+                        TraceEvent::OttDequeue {
+                            dir: Dir::Write,
+                            id: t.aw.id.0,
+                            slot: idx as u32,
+                            total_cycles: total,
+                        },
                     );
                 }
                 // A B for an ID whose head is not awaiting one is a
@@ -411,6 +504,19 @@ impl WriteGuard {
                     t.counter.tick();
                     if t.counter.expired() {
                         t.timed_out = true;
+                        telemetry.record(
+                            cycle,
+                            Self::SOURCE,
+                            TraceEvent::Fault {
+                                class: FaultClass::Timeout,
+                                dir: Some(Dir::Write),
+                                id: t.aw.id.0,
+                                phase: match self.variant {
+                                    TmuVariant::FullCounter => Some(t.phase.into()),
+                                    TmuVariant::TinyCounter => None,
+                                },
+                            },
+                        );
                         faults.push(GuardFault {
                             kind: FaultKind::Timeout,
                             phase: match self.variant {
@@ -439,6 +545,28 @@ impl WriteGuard {
                         "deadline fired but counter not expired"
                     );
                     t.timed_out = true;
+                    telemetry.record(
+                        cycle,
+                        Self::SOURCE,
+                        TraceEvent::WheelFire {
+                            dir: Dir::Write,
+                            slot: idx as u32,
+                            armed_at,
+                        },
+                    );
+                    telemetry.record(
+                        cycle,
+                        Self::SOURCE,
+                        TraceEvent::Fault {
+                            class: FaultClass::Timeout,
+                            dir: Some(Dir::Write),
+                            id: t.aw.id.0,
+                            phase: match self.variant {
+                                TmuVariant::FullCounter => Some(t.phase.into()),
+                                TmuVariant::TinyCounter => None,
+                            },
+                        },
+                    );
                     faults.push(GuardFault {
                         kind: FaultKind::Timeout,
                         phase: match self.variant {
@@ -453,6 +581,18 @@ impl WriteGuard {
             }
         }
 
+        if self.stalled_this_cycle {
+            // Saturation backpressure held off a new AW this cycle:
+            // counted so the sampler can expose stall pressure over time.
+            telemetry.record(
+                cycle,
+                Self::SOURCE,
+                TraceEvent::Counter {
+                    name: "tmu.write.stall_cycles",
+                    delta: 1,
+                },
+            );
+        }
         self.stalled_this_cycle = false;
         faults
     }

@@ -90,3 +90,4 @@ pub use log::{ErrorLog, ErrorRecord, FaultKind, PerfLog, PerfRecord};
 pub use monitor::{Tmu, TmuState};
 pub use phase::{ReadPhase, TxnPhase, WritePhase};
 pub use report::TmuReport;
+pub use tmu_telemetry::{self as telemetry, TelemetryConfig, TelemetryHub, TraceEvent};

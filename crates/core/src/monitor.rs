@@ -31,6 +31,9 @@ use axi4::channel::AxiPort;
 use axi4::checker::ProtocolChecker;
 use serde::{Deserialize, Serialize};
 use sim::EventTrace;
+use tmu_telemetry::{
+    Channel, FaultClass, MetricsHub, RecoveryStage, TelemetryConfig, TelemetryHub, TraceEvent,
+};
 
 use crate::config::{Reg, RegisterFile, TmuConfig, TmuVariant};
 use crate::guard::{AbortTxn, ReadGuard, WriteGuard};
@@ -84,6 +87,7 @@ pub struct Tmu {
     resets_requested: u64,
     cycles: u64,
     trace: EventTrace,
+    telemetry: TelemetryHub,
 }
 
 impl Tmu {
@@ -120,6 +124,7 @@ impl Tmu {
             resets_requested: 0,
             cycles: 0,
             trace: EventTrace::new(),
+            telemetry: TelemetryHub::default(),
         }
     }
 
@@ -277,6 +282,9 @@ impl Tmu {
         self.accept_ar_fired = self.accept_ar && mgr.ar.fires();
         match self.state {
             TmuState::Monitoring => {
+                if self.telemetry.enabled() {
+                    self.record_handshakes(mgr);
+                }
                 if self.w_drain_beats > 0 {
                     // Drained beats belong to aborted bursts; hide them
                     // from the guards and the protocol checker.
@@ -302,6 +310,63 @@ impl Tmu {
                 self.abort_r_fired = mgr.r.fires();
             }
             TmuState::WaitReset => {}
+        }
+    }
+
+    /// Taps the five channels' settled handshakes into the telemetry
+    /// event stream. W beats being drained belong to aborted bursts and
+    /// are hidden, mirroring what the guards see.
+    fn record_handshakes(&mut self, mgr: &AxiPort) {
+        let cycle = self.cycles;
+        if let Some(aw) = mgr.aw.fired_beat() {
+            self.telemetry.record(
+                cycle,
+                "tmu",
+                TraceEvent::Handshake {
+                    channel: Channel::Aw,
+                    id: aw.id.0,
+                },
+            );
+        }
+        if self.w_drain_beats == 0 && mgr.w.fires() {
+            self.telemetry.record(
+                cycle,
+                "tmu",
+                TraceEvent::Handshake {
+                    channel: Channel::W,
+                    id: 0,
+                },
+            );
+        }
+        if let Some(b) = mgr.b.fired_beat() {
+            self.telemetry.record(
+                cycle,
+                "tmu",
+                TraceEvent::Handshake {
+                    channel: Channel::B,
+                    id: b.id.0,
+                },
+            );
+        }
+        if let Some(ar) = mgr.ar.fired_beat() {
+            self.telemetry.record(
+                cycle,
+                "tmu",
+                TraceEvent::Handshake {
+                    channel: Channel::Ar,
+                    id: ar.id.0,
+                },
+            );
+        }
+        if let Some(r) = mgr.r.fired_beat() {
+            self.telemetry.record(
+                cycle,
+                "tmu",
+                TraceEvent::Handshake {
+                    channel: Channel::R,
+                    id: r.id.0,
+                },
+            );
         }
     }
 
@@ -335,7 +400,36 @@ impl Tmu {
         {
             self.state = TmuState::Monitoring;
             self.reset_completed = false;
+            self.telemetry.record(
+                self.cycles,
+                "tmu",
+                TraceEvent::Recovery {
+                    stage: RecoveryStage::Resumed,
+                },
+            );
         }
+        if self.telemetry.should_sample(cycle) {
+            self.publish_gauges();
+            self.telemetry.take_sample(cycle);
+        }
+    }
+
+    /// Publishes the TMU's occupancy gauges into the metrics hub.
+    fn publish_gauges(&mut self) {
+        let write_out = self.write_guard.outstanding() as u64;
+        let read_out = self.read_guard.outstanding() as u64;
+        let write_depth = self.write_guard.wheel_depth() as u64;
+        let read_depth = self.read_guard.wheel_depth() as u64;
+        let faults = self.faults_detected;
+        let drain = self.w_drain_beats;
+        let metrics = self.telemetry.metrics_mut();
+        metrics.gauge_set("tmu.write.ott_occupancy", write_out);
+        metrics.gauge_set("tmu.read.ott_occupancy", read_out);
+        metrics.gauge_set("tmu.outstanding", write_out + read_out);
+        metrics.gauge_set("tmu.write.wheel_depth", write_depth);
+        metrics.gauge_set("tmu.read.wheel_depth", read_depth);
+        metrics.gauge_set("tmu.faults_detected", faults);
+        metrics.gauge_set("tmu.drain_beats_pending", drain);
     }
 
     fn commit_monitoring(&mut self, cycle: u64) {
@@ -344,9 +438,12 @@ impl Tmu {
 
         for fault in self
             .write_guard
-            .commit(cycle, &mut self.perf_log)
+            .commit(cycle, &mut self.perf_log, &mut self.telemetry)
             .into_iter()
-            .chain(self.read_guard.commit(cycle, &mut self.perf_log))
+            .chain(
+                self.read_guard
+                    .commit(cycle, &mut self.perf_log, &mut self.telemetry),
+            )
         {
             records.push(ErrorRecord {
                 cycle,
@@ -358,6 +455,16 @@ impl Tmu {
             });
         }
         for violation in self.pending_violations.drain(..) {
+            self.telemetry.record(
+                cycle,
+                "tmu",
+                TraceEvent::Fault {
+                    class: FaultClass::Protocol,
+                    dir: None,
+                    id: violation.id.map_or(0, |i| i.0),
+                    phase: None,
+                },
+            );
             records.push(ErrorRecord {
                 cycle,
                 kind: FaultKind::Protocol(violation.rule),
@@ -404,6 +511,14 @@ impl Tmu {
                  draining {drain} residual beats"
             )
         });
+        // Severing also closes every open telemetry span as aborted.
+        self.telemetry.record(
+            cycle,
+            "tmu",
+            TraceEvent::Recovery {
+                stage: RecoveryStage::Severed,
+            },
+        );
     }
 
     fn commit_aborting(&mut self) {
@@ -430,6 +545,20 @@ impl Tmu {
                 "tmu",
                 "aborts delivered: requesting subordinate reset",
             );
+            self.telemetry.record(
+                self.cycles,
+                "tmu",
+                TraceEvent::Recovery {
+                    stage: RecoveryStage::AbortsDelivered,
+                },
+            );
+            self.telemetry.record(
+                self.cycles,
+                "tmu",
+                TraceEvent::Recovery {
+                    stage: RecoveryStage::ResetRequested,
+                },
+            );
         }
     }
 
@@ -450,6 +579,13 @@ impl Tmu {
                 self.state = TmuState::Monitoring;
                 self.trace
                     .record(self.cycles, "tmu", "reset complete: monitoring resumed");
+                self.telemetry.record(
+                    self.cycles,
+                    "tmu",
+                    TraceEvent::Recovery {
+                        stage: RecoveryStage::Resumed,
+                    },
+                );
             }
         }
     }
@@ -519,6 +655,53 @@ impl Tmu {
     #[must_use]
     pub fn perf_log(&self) -> &PerfLog {
         &self.perf_log
+    }
+
+    /// Switches the unified telemetry layer on: typed events into the
+    /// ring, transaction spans, and periodic metrics sampling. A
+    /// default-constructed TMU leaves telemetry off, in which case every
+    /// record call in the pipeline costs one branch.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry.enable(config);
+    }
+
+    /// The unified telemetry hub (typed events, spans, metrics).
+    #[must_use]
+    pub fn telemetry(&self) -> &TelemetryHub {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access, for attaching counters or pausing
+    /// recording mid-run.
+    #[must_use]
+    pub fn telemetry_mut(&mut self) -> &mut TelemetryHub {
+        &mut self.telemetry
+    }
+
+    /// Chrome trace-event JSON of the recorded transaction spans —
+    /// loadable in Perfetto / `chrome://tracing`.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        self.telemetry.chrome_trace_json()
+    }
+
+    /// Periodic metrics samples as JSON lines.
+    #[must_use]
+    pub fn metrics_jsonl(&self) -> String {
+        self.telemetry.metrics_jsonl()
+    }
+
+    /// A point-in-time metrics snapshot: the hub's counters plus
+    /// freshly published occupancy gauges, with the performance log's
+    /// total-latency distribution folded in as a histogram. Works with
+    /// telemetry disabled (counters are then zero but gauges and the
+    /// latency histogram are still live).
+    #[must_use]
+    pub fn metrics_snapshot(&mut self) -> MetricsHub {
+        self.publish_gauges();
+        let mut hub = self.telemetry.metrics().clone();
+        hub.set_histogram("tmu.latency.total", self.perf_log.total_latency().clone());
+        hub
     }
 
     /// The most recent fault record, if any.
@@ -1017,6 +1200,84 @@ mod tests {
         assert!(tmu.irq_pending());
         tmu.clear_irq();
         assert!(!tmu.irq_pending());
+    }
+
+    #[test]
+    fn telemetry_collects_handshakes_spans_and_samples() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::FullCounter));
+        tmu.enable_telemetry(TelemetryConfig {
+            sample_every: 16,
+            ..TelemetryConfig::default()
+        });
+        let mut mgr = TestMgr::new(Some(write_txn(1, 4)), Some(read_txn(2, 4)));
+        let mut sub = TestSub::default();
+        run(&mut tmu, &mut mgr, &mut sub, 60, 0);
+        assert!(tmu.telemetry().seq() > 0, "events were recorded");
+        let kinds: Vec<&str> = tmu
+            .telemetry()
+            .events()
+            .iter()
+            .map(|r| r.event.kind())
+            .collect();
+        assert!(kinds.contains(&"handshake"));
+        assert!(kinds.contains(&"ott-enqueue"));
+        assert!(kinds.contains(&"phase-transition"));
+        assert!(kinds.contains(&"ott-dequeue"));
+        // One finished span per transaction, both closed cleanly.
+        let spans = tmu.telemetry().spans().expect("spans enabled").spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| !s.aborted));
+        assert!(tmu.chrome_trace_json().contains("\"ph\":\"X\""));
+        // The periodic sampler ran and captured occupancy gauges.
+        let samples = tmu.telemetry().metrics().samples();
+        assert!(samples.len() >= 3, "60 cycles / 16 per sample");
+        assert!(tmu
+            .telemetry()
+            .metrics()
+            .gauges()
+            .any(|(name, _)| name == "tmu.outstanding"));
+    }
+
+    #[test]
+    fn telemetry_records_recovery_stages_and_aborted_spans() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::FullCounter));
+        tmu.enable_telemetry(TelemetryConfig::default());
+        let mut mgr = TestMgr::new(Some(write_txn(1, 4)), None);
+        let mut sub = TestSub {
+            broken: true,
+            ..TestSub::default()
+        };
+        run(&mut tmu, &mut mgr, &mut sub, 400, 0);
+        tmu.reset_done();
+        tmu.commit(401);
+        let stages: Vec<String> = tmu
+            .telemetry()
+            .events()
+            .iter()
+            .filter(|r| r.event.kind() == "recovery")
+            .map(|r| r.event.to_string())
+            .collect();
+        let story = stages.join("\n");
+        assert!(story.contains("severed"), "{story}");
+        assert!(story.contains("aborts-delivered"), "{story}");
+        assert!(story.contains("reset-requested"), "{story}");
+        assert!(story.contains("resumed"), "{story}");
+        let spans = tmu.telemetry().spans().expect("spans enabled").spans();
+        assert!(spans.iter().any(|s| s.aborted), "sever closes open spans");
+    }
+
+    #[test]
+    fn metrics_snapshot_folds_latency_histogram() {
+        let mut tmu = Tmu::new(cfg(TmuVariant::FullCounter));
+        let mut mgr = TestMgr::new(Some(write_txn(1, 4)), None);
+        let mut sub = TestSub::default();
+        run(&mut tmu, &mut mgr, &mut sub, 60, 0);
+        // Works even with telemetry disabled: gauges + histogram live.
+        let snap = tmu.metrics_snapshot();
+        assert_eq!(snap.gauge("tmu.outstanding"), Some(0));
+        let lat = snap.histogram("tmu.latency.total").expect("histogram");
+        assert_eq!(lat.count(), 1);
+        assert!(lat.percentile(99.0).is_some());
     }
 
     #[test]

@@ -194,6 +194,42 @@ impl From<ReadPhase> for TxnPhase {
     }
 }
 
+impl From<WritePhase> for tmu_telemetry::PhaseId {
+    fn from(p: WritePhase) -> Self {
+        tmu_telemetry::PhaseId {
+            dir: tmu_telemetry::Dir::Write,
+            // `Done` is a terminal marker, not a monitored phase; give it
+            // the next index so the conversion is total.
+            index: if p.is_done() { 6 } else { p.index() as u8 },
+            name: match p {
+                WritePhase::AwHandshake => "AW-handshake",
+                WritePhase::DataEntry => "data-entry",
+                WritePhase::FirstData => "first-data",
+                WritePhase::BurstTransfer => "burst-transfer",
+                WritePhase::RespWait => "resp-wait",
+                WritePhase::RespReady => "resp-ready",
+                WritePhase::Done => "done",
+            },
+        }
+    }
+}
+
+impl From<ReadPhase> for tmu_telemetry::PhaseId {
+    fn from(p: ReadPhase) -> Self {
+        tmu_telemetry::PhaseId {
+            dir: tmu_telemetry::Dir::Read,
+            index: if p.is_done() { 4 } else { p.index() as u8 },
+            name: match p {
+                ReadPhase::ArHandshake => "AR-handshake",
+                ReadPhase::DataWait => "data-wait",
+                ReadPhase::BurstTransfer => "burst-transfer",
+                ReadPhase::LastReady => "last-ready",
+                ReadPhase::Done => "done",
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +284,23 @@ mod tests {
         let r: TxnPhase = ReadPhase::DataWait.into();
         assert_eq!(w.to_string(), "W/burst-transfer");
         assert_eq!(r.to_string(), "R/data-wait");
+    }
+
+    #[test]
+    fn telemetry_phase_ids_match_display_names_and_indices() {
+        for phase in WritePhase::ALL {
+            let id: tmu_telemetry::PhaseId = phase.into();
+            assert_eq!(id.dir, tmu_telemetry::Dir::Write);
+            assert_eq!(id.index as usize, phase.index());
+            assert_eq!(id.name, phase.to_string());
+        }
+        for phase in ReadPhase::ALL {
+            let id: tmu_telemetry::PhaseId = phase.into();
+            assert_eq!(id.dir, tmu_telemetry::Dir::Read);
+            assert_eq!(id.index as usize, phase.index());
+            assert_eq!(id.name, phase.to_string());
+        }
+        let done: tmu_telemetry::PhaseId = WritePhase::Done.into();
+        assert_eq!((done.index, done.name), (6, "done"));
     }
 }

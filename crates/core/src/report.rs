@@ -25,8 +25,14 @@ pub struct TmuReport {
     pub bytes_moved: u64,
     /// Mean total transaction latency in cycles, if any completed.
     pub mean_latency: Option<f64>,
+    /// Median total transaction latency (bucket upper bound), in cycles.
+    pub p50_latency: Option<u64>,
+    /// 99th-percentile total transaction latency (bucket upper bound).
+    pub p99_latency: Option<u64>,
     /// Maximum total transaction latency in cycles.
     pub max_latency: Option<u64>,
+    /// Telemetry events recorded (0 when telemetry is disabled).
+    pub telemetry_events: u64,
     /// Fault events detected.
     pub faults: u64,
     /// Reset requests issued.
@@ -41,22 +47,30 @@ pub struct TmuReport {
 }
 
 impl TmuReport {
-    /// Snapshots `tmu` now.
+    /// Snapshots `tmu` now. Latency statistics come from the metrics
+    /// hub's snapshot ([`Tmu::metrics_snapshot`]), which folds the
+    /// performance log's total-latency distribution into the
+    /// `tmu.latency.total` histogram.
     #[must_use]
-    pub fn capture(tmu: &Tmu) -> Self {
+    pub fn capture(tmu: &mut Tmu) -> Self {
+        let metrics = tmu.metrics_snapshot();
+        let latency = metrics.histogram("tmu.latency.total");
         let perf = tmu.perf_log();
         TmuReport {
             variant: tmu.variant(),
             writes_completed: perf.writes(),
             reads_completed: perf.reads(),
             bytes_moved: perf.bytes(),
-            mean_latency: perf.total_latency().mean(),
-            max_latency: perf.total_latency().max(),
+            mean_latency: latency.and_then(sim::Histogram::mean),
+            p50_latency: latency.and_then(|h| h.percentile(50.0)),
+            p99_latency: latency.and_then(|h| h.percentile(99.0)),
+            max_latency: latency.and_then(sim::Histogram::max),
+            telemetry_events: tmu.telemetry().seq(),
             faults: tmu.faults_detected(),
             resets: tmu.resets_requested(),
             error_records: tmu.error_log().len(),
             write_bottleneck: perf.write_bottleneck(),
-            outstanding: tmu.outstanding(),
+            outstanding: metrics.gauge("tmu.outstanding").unwrap_or(0) as usize,
         }
     }
 }
@@ -71,7 +85,12 @@ impl fmt::Display for TmuReport {
         )?;
         match (self.mean_latency, self.max_latency) {
             (Some(mean), Some(max)) => {
-                writeln!(f, "  latency:   mean {mean:.1} cycles, max {max} cycles")?;
+                let p50 = self.p50_latency.unwrap_or(max);
+                let p99 = self.p99_latency.unwrap_or(max);
+                writeln!(
+                    f,
+                    "  latency:   mean {mean:.1} cycles, p50<={p50}, p99<={p99}, max {max}"
+                )?;
             }
             _ => writeln!(f, "  latency:   no completed transactions")?,
         }
@@ -97,18 +116,21 @@ mod tests {
 
     #[test]
     fn capture_of_idle_tmu() {
-        let tmu = Tmu::new(TmuConfig::default());
-        let report = TmuReport::capture(&tmu);
+        let mut tmu = Tmu::new(TmuConfig::default());
+        let report = TmuReport::capture(&mut tmu);
         assert_eq!(report.writes_completed, 0);
         assert_eq!(report.faults, 0);
         assert_eq!(report.mean_latency, None);
+        assert_eq!(report.p50_latency, None);
+        assert_eq!(report.p99_latency, None);
+        assert_eq!(report.telemetry_events, 0);
         assert_eq!(report.outstanding, 0);
     }
 
     #[test]
     fn display_is_multiline_and_mentions_variant() {
-        let tmu = Tmu::new(TmuConfig::default());
-        let s = TmuReport::capture(&tmu).to_string();
+        let mut tmu = Tmu::new(TmuConfig::default());
+        let s = TmuReport::capture(&mut tmu).to_string();
         assert!(s.contains("Tc"));
         assert!(s.lines().count() >= 3);
         assert!(s.contains("no completed transactions"));

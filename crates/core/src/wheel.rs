@@ -117,6 +117,14 @@ impl DeadlineWheel {
         None
     }
 
+    /// Number of entries currently in the heap. Telemetry gauge: this
+    /// counts lazily-invalidated (superseded/disarmed) entries too, so it
+    /// measures the wheel's real memory pressure, not just live arms.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.heap.len()
+    }
+
     /// Discards every pending deadline (abort/reset path).
     pub fn clear(&mut self) {
         self.heap.clear();
@@ -180,5 +188,17 @@ mod tests {
         wheel.clear();
         assert_eq!(wheel.next_deadline(), None);
         assert_eq!(wheel.pop_expired(u64::MAX), None);
+    }
+
+    #[test]
+    fn depth_counts_stale_entries_until_cleaned() {
+        let mut wheel = DeadlineWheel::new(2);
+        wheel.arm(0, 0, 5);
+        wheel.arm(0, 1, 9); // supersedes, stale entry lingers
+        assert_eq!(wheel.depth(), 2);
+        wheel.next_deadline(); // cleans the stale top
+        assert_eq!(wheel.depth(), 1);
+        wheel.clear();
+        assert_eq!(wheel.depth(), 0);
     }
 }

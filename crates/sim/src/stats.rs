@@ -186,6 +186,19 @@ impl Histogram {
         self.max
     }
 
+    /// An approximate percentile (`0.0..=100.0`): `percentile(99.0)` is
+    /// the p99 upper bound. Convenience wrapper over
+    /// [`Histogram::quantile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+        self.quantile(p / 100.0)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.buckets.len() > self.buckets.len() {
@@ -319,5 +332,41 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn quantile_range_checked() {
         let _ = Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(100.0), None);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_covers_that_sample() {
+        let mut h = Histogram::new();
+        h.record(7);
+        // Every percentile of a one-sample distribution is the bucket
+        // upper bound covering that sample (7 lands in (4, 8]).
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(8));
+        }
+    }
+
+    #[test]
+    fn percentile_matches_quantile() {
+        let mut h = Histogram::new();
+        for s in 1..=100u64 {
+            h.record(s);
+        }
+        assert_eq!(h.percentile(50.0), h.quantile(0.5));
+        assert_eq!(h.percentile(99.0), h.quantile(0.99));
+        assert!(h.percentile(50.0).unwrap() <= h.percentile(99.0).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_range_checked() {
+        let _ = Histogram::new().percentile(101.0);
     }
 }

@@ -89,6 +89,10 @@ impl PartialEq<&str> for EventMsg {
 /// One timestamped trace entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
+    /// Monotonic sequence number, assigned when the event is recorded.
+    /// Consumers compare gaps between retained events against
+    /// [`EventTrace::dropped`] to detect ring eviction.
+    pub seq: u64,
     /// Simulation cycle at which the event occurred.
     pub cycle: u64,
     /// Component that emitted it (static so emitting is allocation-light).
@@ -124,6 +128,7 @@ pub struct EventTrace {
     capacity: usize,
     dropped: u64,
     enabled: bool,
+    next_seq: u64,
 }
 
 impl Default for EventTrace {
@@ -155,6 +160,7 @@ impl EventTrace {
             capacity,
             dropped: 0,
             enabled: true,
+            next_seq: 0,
         }
     }
 
@@ -206,10 +212,12 @@ impl EventTrace {
             self.dropped += 1;
         }
         self.events.push_back(Event {
+            seq: self.next_seq,
             cycle,
             source,
             message,
         });
+        self.next_seq += 1;
     }
 
     /// Events currently retained, oldest first.
@@ -233,6 +241,16 @@ impl EventTrace {
     #[must_use]
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Sequence number the next recorded event will receive; equals the
+    /// total number of events ever recorded (while enabled). The oldest
+    /// retained event's `seq` minus the number of events evicted *before*
+    /// it went missing reveals gaps: after eviction (and no `clear`),
+    /// `iter().next().seq == dropped()`.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Drops all retained events (eviction counter is kept).
@@ -317,6 +335,25 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_rejected() {
         let _ = EventTrace::with_capacity(0);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_and_gaps_match_dropped() {
+        let mut trace = EventTrace::with_capacity(3);
+        for n in 0..8 {
+            trace.record(n, "x", "e");
+        }
+        // Retained events carry consecutive sequence numbers...
+        let seqs: Vec<u64> = trace.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7]);
+        // ...and the gap from seq 0 to the oldest survivor is exactly the
+        // eviction count, so consumers can detect lost history.
+        assert_eq!(seqs[0], trace.dropped());
+        assert_eq!(trace.next_seq(), 8);
+        // Disabled recording burns no sequence numbers.
+        trace.set_enabled(false);
+        trace.record(9, "x", "lost");
+        assert_eq!(trace.next_seq(), 8);
     }
 
     #[test]

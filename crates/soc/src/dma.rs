@@ -15,6 +15,7 @@
 use std::collections::VecDeque;
 
 use axi4::prelude::*;
+use tmu_telemetry::MetricsHub;
 
 /// One copy job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +112,15 @@ impl DmaEngine {
             .iter()
             .filter(|(_, o)| *o == DmaOutcome::Failed)
             .count()
+    }
+
+    /// Publishes the engine's progress as telemetry gauges (`dma.*`),
+    /// for the periodic sampler.
+    pub fn publish_metrics(&self, metrics: &mut MetricsHub) {
+        metrics.gauge_set("dma.completed", self.completed() as u64);
+        metrics.gauge_set("dma.failed", self.failed() as u64);
+        metrics.gauge_set("dma.queued", self.queue.len() as u64);
+        metrics.gauge_set("dma.active", u64::from(self.current.is_some()));
     }
 
     /// True when no work is queued or in flight.
@@ -328,6 +338,24 @@ mod tests {
         run(&mut engine, &mut mem, 10_000);
         assert_eq!(engine.completed(), 1);
         assert_eq!(mem.word(0x2000 + 255 * 8), pattern_word(255 * 8));
+    }
+
+    #[test]
+    fn publish_metrics_reports_progress() {
+        let mut mem = MemSub::default();
+        let mut engine = DmaEngine::new(AxiId(9));
+        engine.push(Descriptor {
+            src: 0x0,
+            dst: 0x100,
+            words: 4,
+        });
+        run(&mut engine, &mut mem, 2000);
+        let mut metrics = MetricsHub::default();
+        engine.publish_metrics(&mut metrics);
+        assert_eq!(metrics.gauge("dma.completed"), Some(1));
+        assert_eq!(metrics.gauge("dma.failed"), Some(0));
+        assert_eq!(metrics.gauge("dma.queued"), Some(0));
+        assert_eq!(metrics.gauge("dma.active"), Some(0));
     }
 
     #[test]

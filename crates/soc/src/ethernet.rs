@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use axi4::burst::beat_address;
 use axi4::prelude::*;
+use tmu_telemetry::MetricsHub;
 
 /// Configuration of the Ethernet-like peripheral.
 #[derive(Debug, Clone, Copy)]
@@ -113,6 +114,17 @@ impl EthSub {
     #[must_use]
     pub fn resets_seen(&self) -> u64 {
         self.resets_seen
+    }
+
+    /// Publishes the peripheral's levels and totals as telemetry gauges
+    /// (`eth.*`), for the periodic sampler.
+    pub fn publish_metrics(&self, metrics: &mut MetricsHub) {
+        metrics.gauge_set("eth.frames_txed", self.frames_txed);
+        metrics.gauge_set("eth.beats_txed", self.beats_txed);
+        metrics.gauge_set("eth.beats_rxed", self.beats_rxed);
+        metrics.gauge_set("eth.resets_seen", self.resets_seen);
+        metrics.gauge_set("eth.tx_queue", self.tx.len() as u64);
+        metrics.gauge_set("eth.rx_queue", self.rx.len() as u64);
     }
 
     /// A frame-buffer word (test/scoreboard access).

@@ -11,6 +11,7 @@ use axi4::channel::AxiPort;
 use faults::{FaultPlan, Injector};
 use sim::Reset;
 use tmu::{Tmu, TmuConfig};
+use tmu_telemetry::TelemetryConfig;
 
 use crate::ethernet::EthSub;
 use crate::manager::{TrafficGen, TrafficPattern};
@@ -163,6 +164,12 @@ impl<S: AxiSubordinate> GuardedLink<S> {
         self.injector.arm(plan);
     }
 
+    /// Switches the TMU's unified telemetry layer on; the link publishes
+    /// its manager-side gauges (`link.mgr.*`) into each periodic sample.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.tmu.enable_telemetry(config);
+    }
+
     /// Simulates one cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
@@ -186,6 +193,22 @@ impl<S: AxiSubordinate> GuardedLink<S> {
         self.mgr.commit(&self.mgr_port, cycle);
         self.sub.commit(&self.sub_port);
         self.injector.note_commit(&self.sub_port, cycle);
+        // Publish link-level gauges just before the TMU's sampler runs,
+        // so every periodic sample carries fresh manager-side levels.
+        if self.tmu.telemetry().should_sample(cycle) {
+            let stats = self.mgr.stats();
+            let completed = stats.total_completed();
+            let errored = stats.writes_errored + stats.reads_errored;
+            let (w_beats, r_beats) = (stats.w_beats, stats.r_beats);
+            let metrics = self.tmu.telemetry_mut().metrics_mut();
+            metrics.gauge_set("link.mgr.txns_completed", completed);
+            metrics.gauge_set("link.mgr.txns_errored", errored);
+            metrics.gauge_set("link.mgr.w_beats", w_beats);
+            metrics.gauge_set("link.mgr.r_beats", r_beats);
+            if let Some(probe) = &self.probe {
+                probe.publish_metrics(metrics);
+            }
+        }
         self.tmu.commit(cycle);
 
         if self.tmu.take_reset_request() {
@@ -314,6 +337,29 @@ mod tests {
         assert!(link.run_until(2000, |l| l.mgr.stats().writes_completed > 5));
         assert!(link.irq_first_at().is_some());
         assert_eq!(link.tmu.faults_detected(), 1, "recovered cleanly");
+    }
+
+    #[test]
+    fn telemetry_spans_and_samples_on_link() {
+        let mut link = GuardedLink::new(
+            TrafficPattern::default(),
+            cfg(TmuVariant::FullCounter),
+            MemSub::default(),
+            1,
+        );
+        link.attach_probe();
+        link.enable_telemetry(TelemetryConfig {
+            sample_every: 64,
+            ..TelemetryConfig::default()
+        });
+        link.run(2000);
+        let hub = link.tmu.telemetry();
+        assert!(hub.seq() > 0, "events recorded");
+        assert!(hub.spans().expect("spans on").spans().len() > 10);
+        let jsonl = hub.metrics_jsonl();
+        assert!(jsonl.contains("link.mgr.txns_completed"), "{jsonl}");
+        assert!(jsonl.contains("probe.w_handshakes"), "{jsonl}");
+        assert!(jsonl.contains("tmu.outstanding"), "{jsonl}");
     }
 
     #[test]

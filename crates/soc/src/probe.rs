@@ -8,6 +8,7 @@
 
 use axi4::channel::AxiPort;
 use sim::vcd::{SignalId, VcdWriter};
+use tmu_telemetry::MetricsHub;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 struct Snapshot {
@@ -96,6 +97,22 @@ pub struct WaveProbe {
     signals: Signals,
     last: Option<Snapshot>,
     samples: u64,
+    handshakes: HandshakeCounts,
+}
+
+/// Handshake-fire totals per channel, counted while sampling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HandshakeCounts {
+    /// AW handshakes observed.
+    pub aw: u64,
+    /// W handshakes observed.
+    pub w: u64,
+    /// B handshakes observed.
+    pub b: u64,
+    /// AR handshakes observed.
+    pub ar: u64,
+    /// R handshakes observed.
+    pub r: u64,
 }
 
 impl WaveProbe {
@@ -126,6 +143,7 @@ impl WaveProbe {
             signals,
             last: None,
             samples: 0,
+            handshakes: HandshakeCounts::default(),
         }
     }
 
@@ -133,6 +151,11 @@ impl WaveProbe {
     /// values are recorded, so idle stretches cost nothing.
     pub fn sample(&mut self, cycle: u64, port: &AxiPort) {
         let now = Snapshot::of(port);
+        self.handshakes.aw += u64::from(now.aw_valid && now.aw_ready);
+        self.handshakes.w += u64::from(now.w_valid && now.w_ready);
+        self.handshakes.b += u64::from(now.b_valid && now.b_ready);
+        self.handshakes.ar += u64::from(now.ar_valid && now.ar_ready);
+        self.handshakes.r += u64::from(now.r_valid && now.r_ready);
         let s = self.signals;
         let last = self.last;
         let mut wire = |id: SignalId, new: bool, old: Option<bool>| {
@@ -169,6 +192,23 @@ impl WaveProbe {
     #[must_use]
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Handshake fires counted per channel while sampling.
+    #[must_use]
+    pub fn handshakes(&self) -> HandshakeCounts {
+        self.handshakes
+    }
+
+    /// Publishes the probe's handshake totals as telemetry gauges
+    /// (`probe.*`), for the periodic sampler.
+    pub fn publish_metrics(&self, metrics: &mut MetricsHub) {
+        metrics.gauge_set("probe.samples", self.samples);
+        metrics.gauge_set("probe.aw_handshakes", self.handshakes.aw);
+        metrics.gauge_set("probe.w_handshakes", self.handshakes.w);
+        metrics.gauge_set("probe.b_handshakes", self.handshakes.b);
+        metrics.gauge_set("probe.ar_handshakes", self.handshakes.ar);
+        metrics.gauge_set("probe.r_handshakes", self.handshakes.r);
     }
 
     /// Renders the VCD document.
@@ -235,6 +275,24 @@ mod tests {
         probe.sample(0, &port);
         let vcd = probe.render();
         assert!(vcd.contains("b101010 "), "ar_id 0x2A in binary: {vcd}");
+    }
+
+    #[test]
+    fn counts_handshakes_and_publishes_gauges() {
+        let mut probe = WaveProbe::new("p");
+        let mut port = AxiPort::new();
+        port.begin_cycle();
+        port.w.drive(WBeat::new(1, true));
+        port.w.set_ready(true);
+        probe.sample(0, &port);
+        port.begin_cycle();
+        probe.sample(1, &port);
+        assert_eq!(probe.handshakes().w, 1);
+        assert_eq!(probe.handshakes().aw, 0);
+        let mut metrics = MetricsHub::default();
+        probe.publish_metrics(&mut metrics);
+        assert_eq!(metrics.gauge("probe.w_handshakes"), Some(1));
+        assert_eq!(metrics.gauge("probe.samples"), Some(2));
     }
 
     #[test]

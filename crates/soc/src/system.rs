@@ -16,6 +16,7 @@ use axi4::channel::AxiPort;
 use faults::{FaultPlan, Injector};
 use sim::Reset;
 use tmu::{Tmu, TmuConfig};
+use tmu_telemetry::TelemetryConfig;
 
 use crate::demux::{AddrRegion, Demux};
 use crate::ethernet::{EthConfig, EthSub};
@@ -176,6 +177,28 @@ impl System {
         self.probe.as_ref()
     }
 
+    /// Switches the unified telemetry layer on for every TMU in the
+    /// system. The system publishes manager and Ethernet gauges
+    /// (`system.*`, `eth.*`) into the Ethernet TMU's periodic samples.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.tmu.enable_telemetry(config);
+        if let Some(mem_tmu) = &mut self.mem_tmu {
+            mem_tmu.enable_telemetry(config);
+        }
+    }
+
+    /// Chrome trace-event JSON of the Ethernet TMU's transaction spans.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        self.tmu.chrome_trace_json()
+    }
+
+    /// The Ethernet TMU's periodic metrics samples as JSON lines.
+    #[must_use]
+    pub fn metrics_jsonl(&self) -> String {
+        self.tmu.metrics_jsonl()
+    }
+
     /// Arms a fault on the Ethernet link.
     pub fn inject(&mut self, plan: FaultPlan) {
         self.injector.arm(plan);
@@ -276,6 +299,21 @@ impl System {
         self.eth.commit(&self.eth_port);
         self.injector.note_commit(&self.eth_port, cycle);
         self.mem_injector.note_commit(&self.mem_port, cycle);
+        // Publish system-level gauges just before the Ethernet TMU's
+        // sampler runs, so each sample carries fresh SoC-wide levels.
+        if self.tmu.telemetry().should_sample(cycle) {
+            let cpu_done = self.cpu.stats().total_completed();
+            let dma_done = self.dma.stats().total_completed();
+            let decode_errors = self.demux.decode_errors();
+            let metrics = self.tmu.telemetry_mut().metrics_mut();
+            metrics.gauge_set("system.cpu.txns_completed", cpu_done);
+            metrics.gauge_set("system.dma.txns_completed", dma_done);
+            metrics.gauge_set("system.decode_errors", decode_errors);
+            self.eth.publish_metrics(metrics);
+            if let Some(probe) = &self.probe {
+                probe.publish_metrics(metrics);
+            }
+        }
         self.tmu.commit(cycle);
         if let Some(mem_tmu) = &mut self.mem_tmu {
             mem_tmu.commit(cycle);
@@ -566,6 +604,24 @@ mod tests {
         // Traffic flowed, so at least one W handshake left its mark.
         assert!(vcd.contains("w_valid"));
         assert!(vcd.lines().filter(|l| l.starts_with('#')).count() > 5);
+    }
+
+    #[test]
+    fn telemetry_samples_carry_system_gauges() {
+        let mut system = System::new(SystemConfig::default());
+        system.attach_probe();
+        system.enable_telemetry(TelemetryConfig {
+            sample_every: 128,
+            ..TelemetryConfig::default()
+        });
+        system.run(3000);
+        assert!(system.tmu().telemetry().seq() > 0, "events recorded");
+        let jsonl = system.metrics_jsonl();
+        assert!(jsonl.contains("eth.frames_txed"), "{jsonl}");
+        assert!(jsonl.contains("system.cpu.txns_completed"), "{jsonl}");
+        assert!(jsonl.contains("probe.w_handshakes"), "{jsonl}");
+        let trace = system.chrome_trace_json();
+        assert!(trace.contains("\"ph\":\"X\""), "complete slices exported");
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //! random budgets, prescaler steps, sticky settings, and both TMU
 //! variants. Everything observable must match: every fault's cycle and
 //! record, the performance log, recovery behaviour, and final occupancy.
+//!
+//! Each case also flips a coin on whether the wheel link runs with the
+//! unified telemetry layer enabled: telemetry is observation-only, so
+//! the differential properties must hold either way.
 
 use axi_tmu::faults::{FaultClass, FaultPlan, Trigger};
 use axi_tmu::soc::link::{AxiSubordinate, BlackHoleSub, GuardedLink};
 use axi_tmu::soc::manager::TrafficPattern;
 use axi_tmu::soc::memory::{MemConfig, MemSub};
-use axi_tmu::tmu::{BudgetConfig, CounterEngine, TmuConfig, TmuVariant};
+use axi_tmu::tmu::{BudgetConfig, CounterEngine, TelemetryConfig, TmuConfig, TmuVariant};
 use proptest::prelude::*;
 
 fn budgets(base: u64) -> BudgetConfig {
@@ -110,6 +114,7 @@ proptest! {
         r_warmup in 0u64..8,
         outstanding in 1usize..8,
         gap in 0u64..6,
+        telemetry in any::<bool>(),
     ) {
         let variant = if variant_sel == 0 { TmuVariant::TinyCounter } else { TmuVariant::FullCounter };
         let base_budget = 2_000;
@@ -131,6 +136,9 @@ proptest! {
             MemSub::new(mem),
             seed,
         );
+        if telemetry {
+            wheel.enable_telemetry(TelemetryConfig::default());
+        }
         assert_lockstep(&mut reference, &mut wheel, 3_000);
         prop_assert_eq!(reference.tmu.faults_detected(), 0, "healthy run must stay clean");
     }
@@ -147,6 +155,7 @@ proptest! {
         variant_sel in 0u8..2,
         base_budget in 64u64..2_048,
         outstanding in 1usize..12,
+        telemetry in any::<bool>(),
     ) {
         let variant = if variant_sel == 0 { TmuVariant::TinyCounter } else { TmuVariant::FullCounter };
         let mut reference = GuardedLink::new(
@@ -161,6 +170,9 @@ proptest! {
             BlackHoleSub,
             seed,
         );
+        if telemetry {
+            wheel.enable_telemetry(TelemetryConfig::default());
+        }
         // Long enough for the stall to trip every armed counter and the
         // recovery FSM to sever, abort, and reset.
         let horizon = base_budget * 8 + 2_000;
@@ -179,6 +191,7 @@ proptest! {
         variant_sel in 0u8..2,
         class_sel in 0u8..4,
         at_cycle in 50u64..500,
+        telemetry in any::<bool>(),
     ) {
         let variant = if variant_sel == 0 { TmuVariant::TinyCounter } else { TmuVariant::FullCounter };
         let class = match class_sel {
@@ -206,6 +219,9 @@ proptest! {
             MemSub::new(mem),
             seed,
         );
+        if telemetry {
+            wheel.enable_telemetry(TelemetryConfig::default());
+        }
         reference.inject(FaultPlan::new(class, Trigger::AtCycle(at_cycle)));
         wheel.inject(FaultPlan::new(class, Trigger::AtCycle(at_cycle)));
         assert_lockstep(&mut reference, &mut wheel, base_budget * 8 + 3_000);
