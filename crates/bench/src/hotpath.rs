@@ -13,7 +13,7 @@
 //!    (`CounterEngine::DeadlineWheel`).
 //! 3. **Deadline wheel, fast-forward** — the harness additionally skips
 //!    the provably idle stall stretch in O(1) via
-//!    [`Simulation::run_until_event`] and [`Tmu::next_deadline`].
+//!    [`Simulation::run_until_event`] and [`tmu::Tmu::next_deadline`].
 //!
 //! All three must report the fault at the identical cycle with identical
 //! logs — asserted by the unit tests here and the differential property

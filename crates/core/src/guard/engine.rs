@@ -1,0 +1,714 @@
+//! The direction-generic guard engine.
+//!
+//! The paper instantiates one guard per AXI direction because the write
+//! (AW/W/B, six monitored phases) and read (AR/R, four phases) pipelines
+//! differ only in their phase machines, data routing, and abort
+//! semantics. Everything else — the Outstanding Transaction Table, ID
+//! remapper, prescaled timeout counters, deadline wheel, adaptive budget
+//! selection, stall backpressure, and the observe/commit/drain/clear
+//! lifecycle — is direction-independent and lives here exactly once, in
+//! [`GuardCore`].
+//!
+//! The split is expressed as a trait: [`Direction`] captures the
+//! direction-specific *vocabulary* (request beat type, phase enum,
+//! budget table) and *behaviour* (wire observation, data/response
+//! routing, abort obligations). `ReadGuard`/`WriteGuard` are thin type
+//! aliases over `GuardCore<ReadDir>`/`GuardCore<WriteDir>`, so the
+//! public guard API and the telemetry event streams are identical to the
+//! former hand-specialized implementations.
+//!
+//! ## Commit ordering contract
+//!
+//! [`GuardCore::commit`] advances the tracked state for one cycle in a
+//! fixed order that both directions share:
+//!
+//! 1. a newly *offered* address beat allocates an OTT entry (unless the
+//!    stall decision held it off),
+//! 2. a *fired* address handshake advances the head entry into the data
+//!    phase,
+//! 3. the direction routes data/response wires through its phase machine
+//!    and retires completed transactions
+//!    ([`Direction::commit_data`]),
+//! 4. timeout expiries are flagged (per-cycle tick sweep or deadline
+//!    wheel pop, per the configured engine),
+//! 5. a stalled cycle bumps the direction's stall counter.
+//!
+//! When `debug_assertions` are on, every commit ends with
+//! [`GuardCore::assert_consistent`], so all property tests exercise the
+//! structural invariants after each committed cycle for free.
+
+use axi4::channel::AxiPort;
+use axi4::{Addr, AxiId};
+use tmu_telemetry::{Dir, FaultClass, PhaseId, TelemetryHub, TraceEvent};
+
+use super::{AbortSet, AbortTxn, GuardFault};
+use crate::budget::{BudgetConfig, QueueLoad};
+use crate::config::{CounterEngine, TmuConfig, TmuVariant};
+use crate::counter::PrescaledCounter;
+use crate::log::{FaultKind, PerfLog, PerfRecord};
+use crate::ott::{LdIndex, Ott};
+use crate::phase::TxnPhase;
+use crate::remap::{IdRemapper, UniqId};
+use crate::wheel::DeadlineWheel;
+
+/// One AXI direction's contribution to the guard engine: the beat and
+/// phase vocabulary plus the direction-specific routing and abort
+/// semantics. Implemented by the uninhabited markers
+/// [`ReadDir`](super::read::ReadDir) and
+/// [`WriteDir`](super::write::WriteDir).
+pub trait Direction: Sized + std::fmt::Debug + Clone + 'static {
+    /// The address beat that opens a transaction (`AwBeat` / `ArBeat`).
+    type Req: Copy + std::fmt::Debug + PartialEq + Eq;
+    /// The per-direction monitored phase enum.
+    type Phase: Copy + std::fmt::Debug + PartialEq + Eq + Into<PhaseId> + Into<TxnPhase>;
+    /// The per-phase budget table consulted by the Full-Counter variant.
+    type Budgets: Copy + std::fmt::Debug + PartialEq + Eq;
+    /// Data/response wires captured by `observe` for `commit_data`.
+    type DataObs: Default + Clone + std::fmt::Debug;
+
+    /// Which guard this is, as tagged in telemetry events.
+    const DIR: Dir;
+    /// Whether completed transactions log as writes.
+    const IS_WRITE: bool;
+    /// Telemetry source tag for this guard.
+    const SOURCE: &'static str;
+    /// Metric key counting cycles a new address beat was stalled.
+    const STALL_COUNTER: &'static str;
+    /// Phase a freshly allocated transaction starts in.
+    const INITIAL_PHASE: Self::Phase;
+    /// Phase entered when the address handshake fires.
+    const ADDR_DONE_PHASE: Self::Phase;
+    /// Terminal phase assigned at retirement.
+    const DONE_PHASE: Self::Phase;
+
+    /// AXI ID of the request beat.
+    fn id(req: &Self::Req) -> AxiId;
+    /// Start address of the request beat.
+    fn addr(req: &Self::Req) -> Addr;
+    /// Burst length of the request, in beats.
+    fn beats(req: &Self::Req) -> u16;
+    /// Bytes per beat (for bandwidth accounting).
+    fn beat_bytes(req: &Self::Req) -> u32;
+    /// Whether `phase` is the terminal phase.
+    fn phase_is_done(phase: Self::Phase) -> bool;
+    /// 0-based index of `phase` into the per-phase latency array.
+    fn phase_index(phase: Self::Phase) -> usize;
+    /// Per-phase budget table for a burst of `beats` under `load`.
+    fn budgets(cfg: &BudgetConfig, beats: u16, load: QueueLoad) -> Self::Budgets;
+    /// Whole-transaction budget for the Tiny-Counter variant.
+    fn tiny_budget(cfg: &BudgetConfig, beats: u16, load: QueueLoad) -> u64;
+    /// Budget of one phase from the table.
+    fn phase_budget(budgets: &Self::Budgets, phase: Self::Phase) -> u64;
+    /// Budget of the initial (address-handshake) phase.
+    fn initial_budget(budgets: &Self::Budgets) -> u64;
+    /// The offered address beat and whether its handshake fired.
+    fn observe_addr(port: &AxiPort) -> (Option<Self::Req>, bool);
+    /// The direction's data/response wires for this cycle.
+    fn observe_data(port: &AxiPort) -> Self::DataObs;
+    /// Beats reported in the perf record of a retired transaction.
+    fn perf_beats(tracker: &TxnTracker<Self>) -> u16;
+    /// Abort obligation for one outstanding transaction (sever path).
+    fn abort_txn(tracker: &TxnTracker<Self>) -> AbortTxn;
+    /// Residual W beats the manager still owes for this transaction
+    /// (0 for reads: the subordinate owns the read data channel).
+    fn drain_beats(tracker: &TxnTracker<Self>) -> u64;
+    /// Step 3 of the commit contract: route this cycle's data/response
+    /// wires through the phase machine and retire completions via
+    /// `GuardCore::retire`.
+    fn commit_data(
+        core: &mut GuardCore<Self>,
+        data: &Self::DataObs,
+        cycle: u64,
+        perf: &mut PerfLog,
+        telemetry: &mut TelemetryHub,
+    );
+}
+
+/// Per-transaction tracker state stored in the OTT's LD rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnTracker<D: Direction> {
+    /// The address beat that opened the transaction.
+    pub req: D::Req,
+    /// Current phase.
+    pub phase: D::Phase,
+    /// Data beats transferred so far.
+    pub beats_done: u16,
+    /// Timeout counter (whole-transaction for Tc, current-phase for Fc).
+    pub counter: PrescaledCounter,
+    /// Per-phase budgets (consulted by Fc at each transition).
+    pub budgets: D::Budgets,
+    /// Cycle the transaction entered the OTT.
+    pub enqueued_at: u64,
+    /// Cycle the current phase started.
+    pub phase_started_at: u64,
+    /// Recorded per-phase latencies (the read direction uses 4 slots).
+    pub phase_cycles: [u64; 6],
+    /// Latched once this transaction has timed out.
+    pub timed_out: bool,
+}
+
+impl<D: Direction> TxnTracker<D> {
+    /// Data beats the transaction still owes.
+    #[must_use]
+    pub fn beats_remaining(&self) -> u16 {
+        D::beats(&self.req).saturating_sub(self.beats_done)
+    }
+}
+
+/// Per-cycle observation snapshot, captured by [`GuardCore::observe`]
+/// and consumed by [`GuardCore::commit`].
+#[derive(Debug, Clone)]
+struct CoreObs<D: Direction> {
+    addr_offered: Option<D::Req>,
+    addr_fired: bool,
+    data: D::DataObs,
+}
+
+impl<D: Direction> Default for CoreObs<D> {
+    fn default() -> Self {
+        CoreObs {
+            addr_offered: None,
+            addr_fired: false,
+            data: D::DataObs::default(),
+        }
+    }
+}
+
+/// The direction-generic guard: owns the OTT, ID remapper, deadline
+/// wheel, and prescaled counters for one direction of one monitored
+/// link, and drives the observe/commit/drain/clear lifecycle. See the
+/// [module docs](self) for the commit ordering contract.
+#[derive(Debug, Clone)]
+pub struct GuardCore<D: Direction> {
+    pub(in crate::guard) variant: TmuVariant,
+    pub(in crate::guard) engine: CounterEngine,
+    prescaler: u64,
+    sticky: bool,
+    budget_cfg: BudgetConfig,
+    pub(in crate::guard) ott: Ott<TxnTracker<D>>,
+    pub(in crate::guard) remap: IdRemapper,
+    /// Deadline schedule for the event-driven counter engine.
+    pub(in crate::guard) wheel: DeadlineWheel,
+    /// Last committed cycle (counter materialization reference).
+    last_commit: u64,
+    /// Residual beats of previously aborted bursts still draining ahead
+    /// of any new transaction's data (set by the TMU each cycle; only
+    /// ever non-zero on the write guard).
+    pending_drain_beats: u64,
+    /// Entry allocated on address `valid`, still waiting for `ready`.
+    addr_pending: Option<LdIndex>,
+    /// Whether this cycle's address beat was stalled by saturation
+    /// backpressure.
+    stalled_this_cycle: bool,
+    obs: CoreObs<D>,
+}
+
+impl<D: Direction> GuardCore<D> {
+    /// Builds the guard for a TMU configuration.
+    #[must_use]
+    pub fn new(cfg: &TmuConfig) -> Self {
+        GuardCore {
+            variant: cfg.variant(),
+            engine: cfg.engine(),
+            prescaler: cfg.prescaler(),
+            sticky: cfg.sticky(),
+            budget_cfg: *cfg.budgets(),
+            ott: Ott::new(cfg.max_uniq_ids(), cfg.max_outstanding()),
+            remap: IdRemapper::new(cfg.max_uniq_ids(), cfg.txn_per_id()),
+            wheel: DeadlineWheel::new(cfg.max_outstanding()),
+            last_commit: 0,
+            pending_drain_beats: 0,
+            addr_pending: None,
+            stalled_this_cycle: false,
+            obs: CoreObs::default(),
+        }
+    }
+
+    /// Residual abort-drain beats that will occupy the data channel
+    /// before any newly enqueued transaction's data: charged into the
+    /// adaptive queue-waiting budget. The TMU sets this each cycle on
+    /// the write guard while a severed link drains.
+    pub fn set_pending_drain(&mut self, beats: u64) {
+        self.pending_drain_beats = beats;
+    }
+
+    /// Replaces the budget configuration (software reprogramming via the
+    /// register file). Applies to transactions enqueued afterwards.
+    pub fn set_budgets(&mut self, budgets: BudgetConfig) {
+        self.budget_cfg = budgets;
+    }
+
+    /// Outstanding transactions currently tracked.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.ott.len()
+    }
+
+    /// Entries currently held by this guard's deadline wheel, including
+    /// lazily-invalidated ones (telemetry gauge; 0 under the per-cycle
+    /// reference engine).
+    #[must_use]
+    pub fn wheel_depth(&self) -> usize {
+        self.wheel.depth()
+    }
+
+    /// Whether a new address beat with `id` must be stalled this cycle
+    /// (saturation / remapper backpressure, paper §II-D). The decision is
+    /// remembered; call once per cycle from the forward pass.
+    pub fn decide_stall(&mut self, req: Option<&D::Req>) -> bool {
+        self.stalled_this_cycle = match req {
+            // An already-allocated address beat is never stalled.
+            _ if self.addr_pending.is_some() => false,
+            Some(beat) => self.ott.is_full() || self.remap.probe(D::id(beat)).is_err(),
+            None => false,
+        };
+        self.stalled_this_cycle
+    }
+
+    /// Captures the settled manager-side wires for this cycle.
+    pub fn observe(&mut self, port: &AxiPort) {
+        let (addr_offered, addr_fired) = D::observe_addr(port);
+        self.obs = CoreObs {
+            addr_offered,
+            addr_fired,
+            data: D::observe_data(port),
+        };
+    }
+
+    /// The queue load ahead of a new arrival (adaptive-budget input).
+    fn queue_load(&self) -> QueueLoad {
+        QueueLoad {
+            txns_ahead: self.ott.len(),
+            beats_ahead: self.pending_drain_beats
+                + self
+                    .ott
+                    .iter()
+                    .map(|(_, e)| u64::from(e.tracker.beats_remaining()))
+                    .sum::<u64>(),
+        }
+    }
+
+    /// Moves `tracker` to phase `to`, records the finished phase's
+    /// latency, and (Full-Counter) restarts the counter with the new
+    /// phase's budget, re-arming the deadline wheel. An associated
+    /// function so [`Direction::commit_data`] can split-borrow the OTT
+    /// entry and the wheel.
+    #[allow(clippy::too_many_arguments)]
+    pub(in crate::guard) fn transition(
+        wheel: &mut DeadlineWheel,
+        engine: CounterEngine,
+        idx: LdIndex,
+        tracker: &mut TxnTracker<D>,
+        to: D::Phase,
+        cycle: u64,
+        variant: TmuVariant,
+        telemetry: &mut TelemetryHub,
+    ) {
+        let from = tracker.phase;
+        if !D::phase_is_done(from) {
+            // Latency of the finished phase: inclusive of this cycle; a
+            // same-cycle double transition yields zero.
+            tracker.phase_cycles[D::phase_index(from)] =
+                (cycle + 1).saturating_sub(tracker.phase_started_at);
+        }
+        tracker.phase = to;
+        tracker.phase_started_at = cycle + 1;
+        if !D::phase_is_done(to) {
+            telemetry.record(
+                cycle,
+                D::SOURCE,
+                TraceEvent::PhaseTransition {
+                    dir: D::DIR,
+                    id: D::id(&tracker.req).0,
+                    slot: idx as u32,
+                    from: from.into(),
+                    to: to.into(),
+                },
+            );
+        }
+        if variant == TmuVariant::FullCounter && !D::phase_is_done(to) {
+            let budget = D::phase_budget(&tracker.budgets, to);
+            tracker.counter.rebudget(budget);
+            telemetry.record(
+                cycle,
+                D::SOURCE,
+                TraceEvent::Rebudget {
+                    dir: D::DIR,
+                    id: D::id(&tracker.req).0,
+                    slot: idx as u32,
+                    budget,
+                },
+            );
+            // The restarted counter receives its first tick in this
+            // commit; an already timed-out transaction never re-fires.
+            if engine == CounterEngine::DeadlineWheel && !tracker.timed_out {
+                let fire_at = cycle + tracker.counter.cycles_to_expiry() - 1;
+                wheel.arm(idx, cycle, fire_at);
+                telemetry.record(
+                    cycle,
+                    D::SOURCE,
+                    TraceEvent::WheelArm {
+                        dir: D::DIR,
+                        slot: idx as u32,
+                        fire_at,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Retires the transaction at the head of `uid`'s FIFO: dequeues it,
+    /// releases the remapper slot, disarms its deadline, and logs the
+    /// completed-transaction perf record and telemetry event. The caller
+    /// (a [`Direction::commit_data`]) has verified the head exists and
+    /// its handshake completed.
+    pub(in crate::guard) fn retire(
+        &mut self,
+        uid: UniqId,
+        cycle: u64,
+        perf: &mut PerfLog,
+        telemetry: &mut TelemetryHub,
+    ) {
+        let (idx, entry) = self.ott.dequeue_head(uid).expect("head exists");
+        self.remap.release(uid);
+        self.wheel.disarm(idx);
+        let mut t = entry.tracker;
+        Self::transition(
+            &mut self.wheel,
+            self.engine,
+            idx,
+            &mut t,
+            D::DONE_PHASE,
+            cycle,
+            self.variant,
+            telemetry,
+        );
+        let total = cycle - t.enqueued_at + 1;
+        perf.record(
+            PerfRecord {
+                id: D::id(&t.req),
+                addr: D::addr(&t.req),
+                is_write: D::IS_WRITE,
+                beats: D::perf_beats(&t),
+                total_cycles: total,
+                phase_cycles: t.phase_cycles,
+                completed_at: cycle,
+            },
+            D::beat_bytes(&t.req),
+        );
+        telemetry.record(
+            cycle,
+            D::SOURCE,
+            TraceEvent::OttDequeue {
+                dir: D::DIR,
+                id: D::id(&t.req).0,
+                slot: idx as u32,
+                total_cycles: total,
+            },
+        );
+    }
+
+    /// Advances the phase machines, ticks counters, and reports faults.
+    ///
+    /// `cycle` is the current cycle index; `perf` receives a record for
+    /// every completed transaction (Full-Counter granularity when the
+    /// variant is Fc); `telemetry` receives the structured event stream
+    /// (a disabled hub costs one branch per event).
+    pub fn commit(
+        &mut self,
+        cycle: u64,
+        perf: &mut PerfLog,
+        telemetry: &mut TelemetryHub,
+    ) -> Vec<GuardFault> {
+        let obs = std::mem::take(&mut self.obs);
+        let mut faults = Vec::new();
+        self.last_commit = cycle;
+
+        // 1. New address beat observed: allocate unless stalled or
+        //    already pending.
+        if let Some(req) = obs.addr_offered {
+            if self.addr_pending.is_none() && !self.stalled_this_cycle {
+                let load = self.queue_load();
+                let beats = D::beats(&req);
+                let budgets = D::budgets(&self.budget_cfg, beats, load);
+                let initial_budget = match self.variant {
+                    TmuVariant::TinyCounter => D::tiny_budget(&self.budget_cfg, beats, load),
+                    TmuVariant::FullCounter => D::initial_budget(&budgets),
+                };
+                let uid = self
+                    .remap
+                    .acquire(D::id(&req))
+                    .expect("stall decision guaranteed admission");
+                let counter = PrescaledCounter::new(initial_budget, self.prescaler, self.sticky);
+                let fire_in = counter.cycles_to_expiry();
+                let tracker = TxnTracker {
+                    req,
+                    phase: D::INITIAL_PHASE,
+                    beats_done: 0,
+                    counter,
+                    budgets,
+                    enqueued_at: cycle,
+                    phase_started_at: cycle,
+                    phase_cycles: [0; 6],
+                    timed_out: false,
+                };
+                let idx = self
+                    .ott
+                    .enqueue(uid, tracker)
+                    .expect("stall decision guaranteed capacity");
+                self.addr_pending = Some(idx);
+                telemetry.record(
+                    cycle,
+                    D::SOURCE,
+                    TraceEvent::OttEnqueue {
+                        dir: D::DIR,
+                        id: D::id(&req).0,
+                        addr: D::addr(&req).0,
+                        beats,
+                        slot: idx as u32,
+                        phase: D::INITIAL_PHASE.into(),
+                    },
+                );
+                if self.engine == CounterEngine::DeadlineWheel {
+                    // First tick lands in this commit, so the expiry can
+                    // fire as early as this very cycle (fire_in >= 1).
+                    let fire_at = cycle + fire_in - 1;
+                    self.wheel.arm(idx, cycle, fire_at);
+                    telemetry.record(
+                        cycle,
+                        D::SOURCE,
+                        TraceEvent::WheelArm {
+                            dir: D::DIR,
+                            slot: idx as u32,
+                            fire_at,
+                        },
+                    );
+                }
+            }
+        }
+
+        // 2. Address handshake completes: enter the data phase.
+        if obs.addr_fired {
+            if let Some(idx) = self.addr_pending.take() {
+                let variant = self.variant;
+                let engine = self.engine;
+                if let Some(entry) = self.ott.get_mut(idx) {
+                    Self::transition(
+                        &mut self.wheel,
+                        engine,
+                        idx,
+                        &mut entry.tracker,
+                        D::ADDR_DONE_PHASE,
+                        cycle,
+                        variant,
+                        telemetry,
+                    );
+                }
+            }
+        }
+
+        // 3. Direction-specific data/response routing and retirement.
+        D::commit_data(self, &obs.data, cycle, perf, telemetry);
+
+        // 4. Flag expiries. The reference engine ticks every live
+        //    counter each cycle; the deadline wheel only touches the
+        //    counters whose precomputed expiry is due, materializing
+        //    their elapsed ticks on demand.
+        match self.engine {
+            CounterEngine::PerCycle => {
+                for (_, entry) in self.ott.iter_mut() {
+                    let t = &mut entry.tracker;
+                    if D::phase_is_done(t.phase) || t.timed_out {
+                        continue;
+                    }
+                    t.counter.tick();
+                    if t.counter.expired() {
+                        t.timed_out = true;
+                        telemetry.record(
+                            cycle,
+                            D::SOURCE,
+                            TraceEvent::Fault {
+                                class: FaultClass::Timeout,
+                                dir: Some(D::DIR),
+                                id: D::id(&t.req).0,
+                                phase: match self.variant {
+                                    TmuVariant::FullCounter => Some(t.phase.into()),
+                                    TmuVariant::TinyCounter => None,
+                                },
+                            },
+                        );
+                        faults.push(GuardFault {
+                            kind: FaultKind::Timeout,
+                            phase: match self.variant {
+                                TmuVariant::FullCounter => Some(t.phase.into()),
+                                TmuVariant::TinyCounter => None,
+                            },
+                            id: D::id(&t.req),
+                            addr: D::addr(&t.req),
+                            inflight_cycles: cycle - t.enqueued_at + 1,
+                        });
+                    }
+                }
+            }
+            CounterEngine::DeadlineWheel => {
+                while let Some((idx, armed_at)) = self.wheel.pop_expired(cycle) {
+                    let Some(entry) = self.ott.get_mut(idx) else {
+                        continue;
+                    };
+                    let t = &mut entry.tracker;
+                    if D::phase_is_done(t.phase) || t.timed_out {
+                        continue;
+                    }
+                    t.counter.advance(cycle - armed_at + 1);
+                    debug_assert!(
+                        t.counter.expired(),
+                        "deadline fired but counter not expired"
+                    );
+                    t.timed_out = true;
+                    telemetry.record(
+                        cycle,
+                        D::SOURCE,
+                        TraceEvent::WheelFire {
+                            dir: D::DIR,
+                            slot: idx as u32,
+                            armed_at,
+                        },
+                    );
+                    telemetry.record(
+                        cycle,
+                        D::SOURCE,
+                        TraceEvent::Fault {
+                            class: FaultClass::Timeout,
+                            dir: Some(D::DIR),
+                            id: D::id(&t.req).0,
+                            phase: match self.variant {
+                                TmuVariant::FullCounter => Some(t.phase.into()),
+                                TmuVariant::TinyCounter => None,
+                            },
+                        },
+                    );
+                    faults.push(GuardFault {
+                        kind: FaultKind::Timeout,
+                        phase: match self.variant {
+                            TmuVariant::FullCounter => Some(t.phase.into()),
+                            TmuVariant::TinyCounter => None,
+                        },
+                        id: D::id(&t.req),
+                        addr: D::addr(&t.req),
+                        inflight_cycles: cycle - t.enqueued_at + 1,
+                    });
+                }
+            }
+        }
+
+        if self.stalled_this_cycle {
+            // Saturation backpressure held off a new address beat this
+            // cycle: counted so the sampler can expose stall pressure
+            // over time.
+            telemetry.record(
+                cycle,
+                D::SOURCE,
+                TraceEvent::Counter {
+                    name: D::STALL_COUNTER,
+                    delta: 1,
+                },
+            );
+        }
+        self.stalled_this_cycle = false;
+
+        #[cfg(debug_assertions)]
+        self.assert_consistent();
+
+        faults
+    }
+
+    /// Builds the abort obligations for every outstanding transaction
+    /// (the direction decides the `SLVERR` response shape and residual
+    /// manager-side drain beats) and clears all tracking state. Used
+    /// when the TMU severs the subordinate.
+    pub fn drain_for_abort(&mut self) -> AbortSet {
+        let responses = self
+            .ott
+            .iter()
+            .map(|(_, e)| D::abort_txn(&e.tracker))
+            .collect();
+        let drain_w_beats = self
+            .ott
+            .iter()
+            .map(|(_, e)| D::drain_beats(&e.tracker))
+            .sum();
+        let accept_pending_addr = self.addr_pending.is_some();
+        self.clear();
+        AbortSet {
+            responses,
+            drain_w_beats,
+            accept_pending_addr,
+        }
+    }
+
+    /// Discards all tracking state (reset path).
+    pub fn clear(&mut self) {
+        self.ott.clear();
+        self.remap.clear();
+        self.wheel.clear();
+        self.addr_pending = None;
+        self.stalled_this_cycle = false;
+        self.obs = CoreObs::default();
+    }
+
+    /// The earliest cycle at which an armed timeout can fire, or `None`
+    /// when nothing is armed (or the per-cycle reference engine is
+    /// selected, which has no schedule). Monotone under quiescence:
+    /// while no new beats arrive, no deadline can move earlier.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        match self.engine {
+            CounterEngine::PerCycle => None,
+            CounterEngine::DeadlineWheel => self.wheel.next_deadline(),
+        }
+    }
+
+    /// Phase of the transaction currently at the head of `id`'s FIFO
+    /// (test/diagnostic hook).
+    #[must_use]
+    pub fn head_phase(&self, id: AxiId) -> Option<D::Phase> {
+        let uid = self.remap.lookup(id)?;
+        let idx = self.ott.head_of(uid)?;
+        self.ott.get(idx).map(|e| e.tracker.phase)
+    }
+
+    /// Diagnostic snapshot of all tracked transactions:
+    /// `(id, phase, counter)`.
+    #[must_use]
+    pub fn debug_entries(&self) -> Vec<(AxiId, D::Phase, PrescaledCounter)> {
+        self.ott
+            .iter()
+            .map(|(idx, e)| {
+                let mut counter = e.tracker.counter;
+                // Under the wheel engine stored counters are stale;
+                // materialize the ticks elapsed since the last arm.
+                if self.engine == CounterEngine::DeadlineWheel
+                    && !e.tracker.timed_out
+                    && !D::phase_is_done(e.tracker.phase)
+                {
+                    let armed_at = self.wheel.armed_at(idx);
+                    counter.advance(self.last_commit.saturating_sub(armed_at) + 1);
+                }
+                (D::id(&e.tracker.req), e.tracker.phase, counter)
+            })
+            .collect()
+    }
+
+    /// Internal consistency check for property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on OTT inconsistencies.
+    pub fn assert_consistent(&self) {
+        self.ott.assert_consistent();
+        assert_eq!(
+            self.remap.outstanding(),
+            self.ott.len(),
+            "remapper refcounts must match OTT occupancy"
+        );
+    }
+}

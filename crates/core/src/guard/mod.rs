@@ -12,14 +12,21 @@
 //! budget; in **Full-Counter** mode the counter is re-armed with each
 //! phase's own (adaptive) budget at every phase transition, and per-phase
 //! latencies are recorded into the performance log.
+//!
+//! Since the two directions differ only in their phase machines, data
+//! routing, and abort semantics, the shared machinery lives once in the
+//! [`engine`] module as [`GuardCore`], parameterized by the [`Direction`]
+//! trait; [`ReadGuard`] and [`WriteGuard`] are thin aliases over it.
 
+pub mod engine;
 pub mod read;
 #[cfg(test)]
 mod tests;
 pub mod write;
 
-pub use read::{ReadGuard, ReadTracker};
-pub use write::{WriteGuard, WriteTracker};
+pub use engine::{Direction, GuardCore, TxnTracker};
+pub use read::{ReadDir, ReadGuard, ReadTracker};
+pub use write::{WriteDir, WriteGuard, WriteTracker};
 
 use axi4::{Addr, AxiId};
 use serde::{Deserialize, Serialize};

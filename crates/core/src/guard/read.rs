@@ -1,327 +1,158 @@
 //! The Read Guard: monitors AR/R for one subordinate link.
+//!
+//! All direction-independent machinery lives in the
+//! [generic engine](super::engine); this module contributes only the
+//! read-specific vocabulary (AR beat, four-phase machine, read budgets)
+//! and the R-channel routing: beats route by ID to the per-ID FIFO head
+//! (same-ID reads complete in order; cross-ID interleaving is legal),
+//! and `RLAST` — or reaching the expected beat count — retires the
+//! transaction.
 
 use axi4::beat::{ArBeat, RBeat};
 use axi4::channel::AxiPort;
-use axi4::AxiId;
+use axi4::{Addr, AxiId};
 use serde::{Deserialize, Serialize};
-use tmu_telemetry::{Dir, FaultClass, TelemetryHub, TraceEvent};
+use tmu_telemetry::{Dir, TelemetryHub};
 
-use super::{AbortTxn, GuardFault};
+use super::engine::{Direction, GuardCore, TxnTracker};
+use super::AbortTxn;
 use crate::budget::{BudgetConfig, QueueLoad, ReadBudgets};
-use crate::config::{CounterEngine, TmuConfig, TmuVariant};
-use crate::counter::PrescaledCounter;
-use crate::log::{FaultKind, PerfLog, PerfRecord};
-use crate::ott::{LdIndex, Ott};
+use crate::log::PerfLog;
 use crate::phase::ReadPhase;
-use crate::remap::IdRemapper;
-use crate::wheel::DeadlineWheel;
+
+/// The Read Guard: [`GuardCore`] specialized to the read direction. See
+/// the [module docs](super) for the monitoring model.
+pub type ReadGuard = GuardCore<ReadDir>;
 
 /// Per-transaction tracker state stored in the read OTT's LD rows.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ReadTracker {
-    /// The AR beat that opened the transaction.
-    pub ar: ArBeat,
-    /// Current phase.
-    pub phase: ReadPhase,
-    /// R beats transferred so far.
-    pub beats_done: u16,
-    /// Timeout counter (whole-transaction for Tc, current-phase for Fc).
-    pub counter: PrescaledCounter,
-    /// Per-phase budgets (consulted by Fc at each transition).
-    pub budgets: ReadBudgets,
-    /// Cycle the transaction entered the OTT.
-    pub enqueued_at: u64,
-    /// Cycle the current phase started.
-    pub phase_started_at: u64,
-    /// Recorded per-phase latencies (4 used slots).
-    pub phase_cycles: [u64; 6],
-    /// Latched once this transaction has timed out.
-    pub timed_out: bool,
-}
+pub type ReadTracker = TxnTracker<ReadDir>;
 
-impl ReadTracker {
-    /// Data beats the subordinate still owes.
-    #[must_use]
-    pub fn beats_remaining(&self) -> u16 {
-        self.ar.len.beats().saturating_sub(self.beats_done)
-    }
-}
+/// Uninhabited marker selecting the read direction (AR/R channels, four
+/// monitored phases) in the generic guard engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadDir {}
 
-/// Per-cycle observation snapshot.
+/// R-channel wires captured per cycle.
 #[derive(Debug, Clone, Default)]
-struct ReadObservation {
-    ar_offered: Option<ArBeat>,
-    ar_fired: bool,
+pub struct ReadDataObs {
     r_offered: Option<RBeat>,
     r_fired: Option<RBeat>,
 }
 
-/// The Read Guard. See the [module docs](super) for the monitoring model.
-#[derive(Debug, Clone)]
-pub struct ReadGuard {
-    variant: TmuVariant,
-    engine: CounterEngine,
-    prescaler: u64,
-    sticky: bool,
-    budget_cfg: BudgetConfig,
-    ott: Ott<ReadTracker>,
-    remap: IdRemapper,
-    /// Deadline schedule for the event-driven counter engine.
-    wheel: DeadlineWheel,
-    ar_pending: Option<LdIndex>,
-    stalled_this_cycle: bool,
-    obs: ReadObservation,
-}
+impl Direction for ReadDir {
+    type Req = ArBeat;
+    type Phase = ReadPhase;
+    type Budgets = ReadBudgets;
+    type DataObs = ReadDataObs;
 
-impl ReadGuard {
-    /// Telemetry source tag for this guard.
+    const DIR: Dir = Dir::Read;
+    const IS_WRITE: bool = false;
     const SOURCE: &'static str = "tmu.read";
+    const STALL_COUNTER: &'static str = "tmu.read.stall_cycles";
+    const INITIAL_PHASE: ReadPhase = ReadPhase::ArHandshake;
+    const ADDR_DONE_PHASE: ReadPhase = ReadPhase::DataWait;
+    const DONE_PHASE: ReadPhase = ReadPhase::Done;
 
-    /// Builds the guard for a TMU configuration.
-    #[must_use]
-    pub fn new(cfg: &TmuConfig) -> Self {
-        ReadGuard {
-            variant: cfg.variant(),
-            engine: cfg.engine(),
-            prescaler: cfg.prescaler(),
-            sticky: cfg.sticky(),
-            budget_cfg: *cfg.budgets(),
-            ott: Ott::new(cfg.max_uniq_ids(), cfg.max_outstanding()),
-            remap: IdRemapper::new(cfg.max_uniq_ids(), cfg.txn_per_id()),
-            wheel: DeadlineWheel::new(cfg.max_outstanding()),
-            ar_pending: None,
-            stalled_this_cycle: false,
-            obs: ReadObservation::default(),
-        }
+    fn id(req: &ArBeat) -> AxiId {
+        req.id
     }
 
-    /// Replaces the budget configuration (software reprogramming).
-    pub fn set_budgets(&mut self, budgets: BudgetConfig) {
-        self.budget_cfg = budgets;
+    fn addr(req: &ArBeat) -> Addr {
+        req.addr
     }
 
-    /// Outstanding read transactions currently tracked.
-    #[must_use]
-    pub fn outstanding(&self) -> usize {
-        self.ott.len()
+    fn beats(req: &ArBeat) -> u16 {
+        req.len.beats()
     }
 
-    /// Entries currently held by this guard's deadline wheel, including
-    /// lazily-invalidated ones (telemetry gauge; 0 under the per-cycle
-    /// reference engine).
-    #[must_use]
-    pub fn wheel_depth(&self) -> usize {
-        self.wheel.depth()
+    fn beat_bytes(req: &ArBeat) -> u32 {
+        req.size.bytes()
     }
 
-    /// Whether a new AR with `id` must be stalled this cycle.
-    pub fn decide_stall(&mut self, ar: Option<&ArBeat>) -> bool {
-        self.stalled_this_cycle = match ar {
-            _ if self.ar_pending.is_some() => false,
-            Some(beat) => self.ott.is_full() || self.remap.probe(beat.id).is_err(),
-            None => false,
-        };
-        self.stalled_this_cycle
+    fn phase_is_done(phase: ReadPhase) -> bool {
+        phase.is_done()
     }
 
-    /// Captures the settled manager-side wires for this cycle.
-    pub fn observe(&mut self, port: &AxiPort) {
-        self.obs = ReadObservation {
-            ar_offered: port.ar.beat().copied(),
-            ar_fired: port.ar.fires(),
+    fn phase_index(phase: ReadPhase) -> usize {
+        phase.index()
+    }
+
+    fn budgets(cfg: &BudgetConfig, beats: u16, load: QueueLoad) -> ReadBudgets {
+        cfg.read_budgets(beats, load)
+    }
+
+    fn tiny_budget(cfg: &BudgetConfig, beats: u16, load: QueueLoad) -> u64 {
+        cfg.tiny_read_budget(beats, load)
+    }
+
+    fn phase_budget(budgets: &ReadBudgets, phase: ReadPhase) -> u64 {
+        budgets.for_phase(phase)
+    }
+
+    fn initial_budget(budgets: &ReadBudgets) -> u64 {
+        budgets.ar_handshake
+    }
+
+    fn observe_addr(port: &AxiPort) -> (Option<ArBeat>, bool) {
+        (port.ar.beat().copied(), port.ar.fires())
+    }
+
+    fn observe_data(port: &AxiPort) -> ReadDataObs {
+        ReadDataObs {
             r_offered: port.r.beat().copied(),
             r_fired: port.r.fired_beat().copied(),
-        };
-    }
-
-    fn queue_load(&self) -> QueueLoad {
-        QueueLoad {
-            txns_ahead: self.ott.len(),
-            beats_ahead: self
-                .ott
-                .iter()
-                .map(|(_, e)| u64::from(e.tracker.beats_remaining()))
-                .sum(),
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn transition(
-        wheel: &mut DeadlineWheel,
-        engine: CounterEngine,
-        idx: LdIndex,
-        tracker: &mut ReadTracker,
-        to: ReadPhase,
-        cycle: u64,
-        variant: TmuVariant,
-        telemetry: &mut TelemetryHub,
-    ) {
-        let from = tracker.phase;
-        if !from.is_done() {
-            tracker.phase_cycles[from.index()] =
-                (cycle + 1).saturating_sub(tracker.phase_started_at);
-        }
-        tracker.phase = to;
-        tracker.phase_started_at = cycle + 1;
-        if !to.is_done() {
-            telemetry.record(
-                cycle,
-                Self::SOURCE,
-                TraceEvent::PhaseTransition {
-                    dir: Dir::Read,
-                    id: tracker.ar.id.0,
-                    slot: idx as u32,
-                    from: from.into(),
-                    to: to.into(),
-                },
-            );
-        }
-        if variant == TmuVariant::FullCounter && !to.is_done() {
-            let budget = tracker.budgets.for_phase(to);
-            tracker.counter.rebudget(budget);
-            telemetry.record(
-                cycle,
-                Self::SOURCE,
-                TraceEvent::Rebudget {
-                    dir: Dir::Read,
-                    id: tracker.ar.id.0,
-                    slot: idx as u32,
-                    budget,
-                },
-            );
-            // The restarted counter receives its first tick in this
-            // commit; an already timed-out transaction never re-fires.
-            if engine == CounterEngine::DeadlineWheel && !tracker.timed_out {
-                let fire_at = cycle + tracker.counter.cycles_to_expiry() - 1;
-                wheel.arm(idx, cycle, fire_at);
-                telemetry.record(
-                    cycle,
-                    Self::SOURCE,
-                    TraceEvent::WheelArm {
-                        dir: Dir::Read,
-                        slot: idx as u32,
-                        fire_at,
-                    },
-                );
-            }
+    // A read may retire early on RLAST, so the perf record reports the
+    // beats actually transferred rather than the advertised burst length.
+    fn perf_beats(tracker: &ReadTracker) -> u16 {
+        tracker.beats_done
+    }
+
+    // Aborting a read means answering every beat the subordinate still
+    // owes with `SLVERR` (at least one, for the R-channel handshake).
+    fn abort_txn(tracker: &ReadTracker) -> AbortTxn {
+        AbortTxn {
+            id: tracker.req.id,
+            beats_remaining: tracker.beats_remaining().max(1),
         }
     }
 
-    /// Advances the phase machines, ticks counters, and reports faults.
-    /// `telemetry` receives the structured event stream (a disabled hub
-    /// costs one branch per event).
-    pub fn commit(
-        &mut self,
+    // The subordinate drives R: the manager owes no residual data beats.
+    fn drain_beats(_tracker: &ReadTracker) -> u64 {
+        0
+    }
+
+    fn commit_data(
+        core: &mut GuardCore<ReadDir>,
+        data: &ReadDataObs,
         cycle: u64,
         perf: &mut PerfLog,
         telemetry: &mut TelemetryHub,
-    ) -> Vec<GuardFault> {
-        let obs = std::mem::take(&mut self.obs);
-        let mut faults = Vec::new();
-
-        // 1. New AR observed: allocate unless stalled or already pending.
-        if let Some(ar) = obs.ar_offered {
-            if self.ar_pending.is_none() && !self.stalled_this_cycle {
-                let load = self.queue_load();
-                let budgets = self.budget_cfg.read_budgets(ar.len.beats(), load);
-                let initial_budget = match self.variant {
-                    TmuVariant::TinyCounter => {
-                        self.budget_cfg.tiny_read_budget(ar.len.beats(), load)
-                    }
-                    TmuVariant::FullCounter => budgets.ar_handshake,
-                };
-                let uid = self
-                    .remap
-                    .acquire(ar.id)
-                    .expect("stall decision guaranteed admission");
-                let counter = PrescaledCounter::new(initial_budget, self.prescaler, self.sticky);
-                let fire_in = counter.cycles_to_expiry();
-                let tracker = ReadTracker {
-                    ar,
-                    phase: ReadPhase::ArHandshake,
-                    beats_done: 0,
-                    counter,
-                    budgets,
-                    enqueued_at: cycle,
-                    phase_started_at: cycle,
-                    phase_cycles: [0; 6],
-                    timed_out: false,
-                };
-                let idx = self
-                    .ott
-                    .enqueue(uid, tracker)
-                    .expect("stall decision guaranteed capacity");
-                self.ar_pending = Some(idx);
-                telemetry.record(
-                    cycle,
-                    Self::SOURCE,
-                    TraceEvent::OttEnqueue {
-                        dir: Dir::Read,
-                        id: ar.id.0,
-                        addr: ar.addr.0,
-                        beats: ar.len.beats(),
-                        slot: idx as u32,
-                        phase: ReadPhase::ArHandshake.into(),
-                    },
-                );
-                if self.engine == CounterEngine::DeadlineWheel {
-                    // First tick lands in this commit, so the expiry can
-                    // fire as early as this very cycle (fire_in >= 1).
-                    let fire_at = cycle + fire_in - 1;
-                    self.wheel.arm(idx, cycle, fire_at);
-                    telemetry.record(
-                        cycle,
-                        Self::SOURCE,
-                        TraceEvent::WheelArm {
-                            dir: Dir::Read,
-                            slot: idx as u32,
-                            fire_at,
-                        },
-                    );
-                }
-            }
-        }
-
-        // 2. AR handshake completes: wait for data.
-        if obs.ar_fired {
-            if let Some(idx) = self.ar_pending.take() {
-                let variant = self.variant;
-                let engine = self.engine;
-                if let Some(entry) = self.ott.get_mut(idx) {
-                    Self::transition(
-                        &mut self.wheel,
-                        engine,
-                        idx,
-                        &mut entry.tracker,
-                        ReadPhase::DataWait,
-                        cycle,
-                        variant,
-                        telemetry,
-                    );
-                }
-            }
-        }
-
-        // 3. R beats route by ID to the per-ID FIFO head (same-ID reads
-        //    complete in order; cross-ID interleaving is legal).
-        if let Some(r) = obs.r_offered {
-            if let Some(uid) = self.remap.lookup(r.id) {
-                if let Some(idx) = self.ott.head_of(uid) {
-                    let variant = self.variant;
-                    let engine = self.engine;
-                    if let Some(entry) = self.ott.get_mut(idx) {
-                        let wheel = &mut self.wheel;
+    ) {
+        // R beats route by ID to the per-ID FIFO head (same-ID reads
+        // complete in order; cross-ID interleaving is legal).
+        if let Some(r) = data.r_offered {
+            if let Some(uid) = core.remap.lookup(r.id) {
+                if let Some(idx) = core.ott.head_of(uid) {
+                    let variant = core.variant;
+                    let engine = core.engine;
+                    if let Some(entry) = core.ott.get_mut(idx) {
+                        let wheel = &mut core.wheel;
                         let t = &mut entry.tracker;
-                        let offered_is_final = t.beats_done + 1 == t.ar.len.beats();
+                        let offered_is_final = t.beats_done + 1 == t.req.len.beats();
                         if t.phase == ReadPhase::DataWait {
                             let to = if offered_is_final {
                                 ReadPhase::LastReady
                             } else {
                                 ReadPhase::BurstTransfer
                             };
-                            Self::transition(wheel, engine, idx, t, to, cycle, variant, telemetry);
+                            GuardCore::transition(
+                                wheel, engine, idx, t, to, cycle, variant, telemetry,
+                            );
                         } else if t.phase == ReadPhase::BurstTransfer && offered_is_final {
-                            Self::transition(
+                            GuardCore::transition(
                                 wheel,
                                 engine,
                                 idx,
@@ -336,238 +167,27 @@ impl ReadGuard {
                 }
             }
         }
-        if let Some(r) = obs.r_fired {
-            if let Some(uid) = self.remap.lookup(r.id) {
-                if let Some(idx) = self.ott.head_of(uid) {
-                    let variant = self.variant;
-                    let engine = self.engine;
+        if let Some(r) = data.r_fired {
+            if let Some(uid) = core.remap.lookup(r.id) {
+                if let Some(idx) = core.ott.head_of(uid) {
                     let mut retire = false;
-                    if let Some(entry) = self.ott.get_mut(idx) {
+                    if let Some(entry) = core.ott.get_mut(idx) {
                         let t = &mut entry.tracker;
                         if !t.phase.is_done() && t.phase != ReadPhase::ArHandshake {
                             t.beats_done += 1;
                             // The subordinate's RLAST drives completion;
                             // reaching the expected count does likewise
                             // (an RLAST mismatch is a checker violation).
-                            if r.last || t.beats_done >= t.ar.len.beats() {
-                                Self::transition(
-                                    &mut self.wheel,
-                                    engine,
-                                    idx,
-                                    t,
-                                    ReadPhase::Done,
-                                    cycle,
-                                    variant,
-                                    telemetry,
-                                );
-                                retire = true;
-                            }
+                            retire = r.last || t.beats_done >= t.req.len.beats();
                         }
                     }
                     if retire {
-                        let (idx, entry) = self.ott.dequeue_head(uid).expect("head exists");
-                        self.remap.release(uid);
-                        self.wheel.disarm(idx);
-                        let t = entry.tracker;
-                        let total = cycle - t.enqueued_at + 1;
-                        perf.record(
-                            PerfRecord {
-                                id: t.ar.id,
-                                addr: t.ar.addr,
-                                is_write: false,
-                                beats: t.beats_done,
-                                total_cycles: total,
-                                phase_cycles: [
-                                    t.phase_cycles[0],
-                                    t.phase_cycles[1],
-                                    t.phase_cycles[2],
-                                    t.phase_cycles[3],
-                                    0,
-                                    0,
-                                ],
-                                completed_at: cycle,
-                            },
-                            t.ar.size.bytes(),
-                        );
-                        telemetry.record(
-                            cycle,
-                            Self::SOURCE,
-                            TraceEvent::OttDequeue {
-                                dir: Dir::Read,
-                                id: t.ar.id.0,
-                                slot: idx as u32,
-                                total_cycles: total,
-                            },
-                        );
+                        // `retire` performs the Done transition, closing
+                        // out the final phase's recorded latency.
+                        core.retire(uid, cycle, perf, telemetry);
                     }
                 }
             }
         }
-
-        // 4. Flag expiries (see the write guard for the engine split).
-        match self.engine {
-            CounterEngine::PerCycle => {
-                for (_, entry) in self.ott.iter_mut() {
-                    let t = &mut entry.tracker;
-                    if t.phase.is_done() || t.timed_out {
-                        continue;
-                    }
-                    t.counter.tick();
-                    if t.counter.expired() {
-                        t.timed_out = true;
-                        telemetry.record(
-                            cycle,
-                            Self::SOURCE,
-                            TraceEvent::Fault {
-                                class: FaultClass::Timeout,
-                                dir: Some(Dir::Read),
-                                id: t.ar.id.0,
-                                phase: match self.variant {
-                                    TmuVariant::FullCounter => Some(t.phase.into()),
-                                    TmuVariant::TinyCounter => None,
-                                },
-                            },
-                        );
-                        faults.push(GuardFault {
-                            kind: FaultKind::Timeout,
-                            phase: match self.variant {
-                                TmuVariant::FullCounter => Some(t.phase.into()),
-                                TmuVariant::TinyCounter => None,
-                            },
-                            id: t.ar.id,
-                            addr: t.ar.addr,
-                            inflight_cycles: cycle - t.enqueued_at + 1,
-                        });
-                    }
-                }
-            }
-            CounterEngine::DeadlineWheel => {
-                while let Some((idx, armed_at)) = self.wheel.pop_expired(cycle) {
-                    let Some(entry) = self.ott.get_mut(idx) else {
-                        continue;
-                    };
-                    let t = &mut entry.tracker;
-                    if t.phase.is_done() || t.timed_out {
-                        continue;
-                    }
-                    t.counter.advance(cycle - armed_at + 1);
-                    debug_assert!(
-                        t.counter.expired(),
-                        "deadline fired but counter not expired"
-                    );
-                    t.timed_out = true;
-                    telemetry.record(
-                        cycle,
-                        Self::SOURCE,
-                        TraceEvent::WheelFire {
-                            dir: Dir::Read,
-                            slot: idx as u32,
-                            armed_at,
-                        },
-                    );
-                    telemetry.record(
-                        cycle,
-                        Self::SOURCE,
-                        TraceEvent::Fault {
-                            class: FaultClass::Timeout,
-                            dir: Some(Dir::Read),
-                            id: t.ar.id.0,
-                            phase: match self.variant {
-                                TmuVariant::FullCounter => Some(t.phase.into()),
-                                TmuVariant::TinyCounter => None,
-                            },
-                        },
-                    );
-                    faults.push(GuardFault {
-                        kind: FaultKind::Timeout,
-                        phase: match self.variant {
-                            TmuVariant::FullCounter => Some(t.phase.into()),
-                            TmuVariant::TinyCounter => None,
-                        },
-                        id: t.ar.id,
-                        addr: t.ar.addr,
-                        inflight_cycles: cycle - t.enqueued_at + 1,
-                    });
-                }
-            }
-        }
-
-        if self.stalled_this_cycle {
-            // Saturation backpressure held off a new AR this cycle.
-            telemetry.record(
-                cycle,
-                Self::SOURCE,
-                TraceEvent::Counter {
-                    name: "tmu.read.stall_cycles",
-                    delta: 1,
-                },
-            );
-        }
-        self.stalled_this_cycle = false;
-        faults
-    }
-
-    /// Builds the abort obligations for every outstanding read (the
-    /// remaining R beats, answered with `SLVERR`) and clears all tracking
-    /// state.
-    pub fn drain_for_abort(&mut self) -> super::AbortSet {
-        let responses = self
-            .ott
-            .iter()
-            .map(|(_, e)| AbortTxn {
-                id: e.tracker.ar.id,
-                beats_remaining: e.tracker.beats_remaining().max(1),
-            })
-            .collect();
-        let accept_pending_addr = self.ar_pending.is_some();
-        self.clear();
-        super::AbortSet {
-            responses,
-            drain_w_beats: 0,
-            accept_pending_addr,
-        }
-    }
-
-    /// Discards all tracking state (reset path).
-    pub fn clear(&mut self) {
-        self.ott.clear();
-        self.remap.clear();
-        self.wheel.clear();
-        self.ar_pending = None;
-        self.stalled_this_cycle = false;
-        self.obs = ReadObservation::default();
-    }
-
-    /// The earliest cycle at which an armed timeout can fire, or `None`
-    /// when nothing is armed (or the per-cycle reference engine is
-    /// selected, which has no schedule).
-    pub fn next_deadline(&mut self) -> Option<u64> {
-        match self.engine {
-            CounterEngine::PerCycle => None,
-            CounterEngine::DeadlineWheel => self.wheel.next_deadline(),
-        }
-    }
-
-    /// Phase of the transaction currently at the head of `id`'s FIFO
-    /// (test/diagnostic hook).
-    #[must_use]
-    pub fn head_phase(&self, id: AxiId) -> Option<ReadPhase> {
-        let uid = self.remap.lookup(id)?;
-        let idx = self.ott.head_of(uid)?;
-        self.ott.get(idx).map(|e| e.tracker.phase)
-    }
-
-    /// Internal consistency check for property tests.
-    ///
-    /// # Panics
-    ///
-    /// Panics on OTT inconsistencies.
-    pub fn assert_consistent(&self) {
-        self.ott.assert_consistent();
-        assert_eq!(
-            self.remap.outstanding(),
-            self.ott.len(),
-            "remapper refcounts must match OTT occupancy"
-        );
     }
 }

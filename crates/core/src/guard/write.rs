@@ -1,351 +1,149 @@
 //! The Write Guard: monitors AW/W/B for one subordinate link.
+//!
+//! All direction-independent machinery lives in the
+//! [generic engine](super::engine); this module contributes only the
+//! write-specific vocabulary (AW beat, six-phase machine, write budgets)
+//! and the W/B routing: W beats route to the EI-front transaction (AW
+//! order, no write-data interleaving in AXI4), B responses route by ID
+//! and retire the per-ID FIFO head once its data completed.
 
 use axi4::beat::{AwBeat, BBeat};
 use axi4::channel::AxiPort;
-use axi4::AxiId;
+use axi4::{Addr, AxiId};
 use serde::{Deserialize, Serialize};
-use tmu_telemetry::{Dir, FaultClass, TelemetryHub, TraceEvent};
+use tmu_telemetry::{Dir, TelemetryHub};
 
-use super::{AbortTxn, GuardFault};
+use super::engine::{Direction, GuardCore, TxnTracker};
+use super::AbortTxn;
 use crate::budget::{BudgetConfig, QueueLoad, WriteBudgets};
-use crate::config::{CounterEngine, TmuConfig, TmuVariant};
-use crate::counter::PrescaledCounter;
-use crate::log::{FaultKind, PerfLog, PerfRecord};
-use crate::ott::{LdIndex, Ott};
+use crate::log::PerfLog;
 use crate::phase::WritePhase;
-use crate::remap::IdRemapper;
-use crate::wheel::DeadlineWheel;
+
+/// The Write Guard: [`GuardCore`] specialized to the write direction.
+/// See the [module docs](super) for the monitoring model.
+pub type WriteGuard = GuardCore<WriteDir>;
 
 /// Per-transaction tracker state stored in the write OTT's LD rows.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct WriteTracker {
-    /// The AW beat that opened the transaction.
-    pub aw: AwBeat,
-    /// Current phase.
-    pub phase: WritePhase,
-    /// W beats transferred so far.
-    pub beats_done: u16,
-    /// Timeout counter (whole-transaction for Tc, current-phase for Fc).
-    pub counter: PrescaledCounter,
-    /// Per-phase budgets (consulted by Fc at each transition).
-    pub budgets: WriteBudgets,
-    /// Cycle the transaction entered the OTT.
-    pub enqueued_at: u64,
-    /// Cycle the current phase started.
-    pub phase_started_at: u64,
-    /// Recorded per-phase latencies.
-    pub phase_cycles: [u64; 6],
-    /// Latched once this transaction has timed out.
-    pub timed_out: bool,
-}
+pub type WriteTracker = TxnTracker<WriteDir>;
 
-impl WriteTracker {
-    /// Data beats the transaction still owes.
-    #[must_use]
-    pub fn beats_remaining(&self) -> u16 {
-        self.aw.len.beats().saturating_sub(self.beats_done)
-    }
-}
+/// Uninhabited marker selecting the write direction (AW/W/B channels,
+/// six monitored phases) in the generic guard engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteDir {}
 
-/// Per-cycle observation snapshot, captured by [`WriteGuard::observe`]
-/// and consumed by [`WriteGuard::commit`].
+/// W/B-channel wires captured per cycle.
 #[derive(Debug, Clone, Default)]
-struct WriteObservation {
-    aw_offered: Option<AwBeat>,
-    aw_fired: bool,
+pub struct WriteDataObs {
     w_offered: bool,
     w_fired: bool,
     b_offered: Option<BBeat>,
     b_fired: Option<BBeat>,
 }
 
-/// The Write Guard. See the [module docs](super) for the monitoring
-/// model.
-#[derive(Debug, Clone)]
-pub struct WriteGuard {
-    variant: TmuVariant,
-    engine: CounterEngine,
-    prescaler: u64,
-    sticky: bool,
-    budget_cfg: BudgetConfig,
-    ott: Ott<WriteTracker>,
-    remap: IdRemapper,
-    /// Deadline schedule for the event-driven counter engine.
-    wheel: DeadlineWheel,
-    /// Last committed cycle (counter materialization reference).
-    last_commit: u64,
-    /// Residual beats of previously aborted bursts still draining ahead
-    /// of any new write's data (set by the TMU each cycle).
-    pending_drain_beats: u64,
-    /// Entry allocated on `aw_valid`, still waiting for `aw_ready`.
-    aw_pending: Option<LdIndex>,
-    /// Whether this cycle's AW was stalled by saturation backpressure.
-    stalled_this_cycle: bool,
-    obs: WriteObservation,
-}
+impl Direction for WriteDir {
+    type Req = AwBeat;
+    type Phase = WritePhase;
+    type Budgets = WriteBudgets;
+    type DataObs = WriteDataObs;
 
-impl WriteGuard {
-    /// Telemetry source tag for this guard.
+    const DIR: Dir = Dir::Write;
+    const IS_WRITE: bool = true;
     const SOURCE: &'static str = "tmu.write";
+    const STALL_COUNTER: &'static str = "tmu.write.stall_cycles";
+    const INITIAL_PHASE: WritePhase = WritePhase::AwHandshake;
+    const ADDR_DONE_PHASE: WritePhase = WritePhase::DataEntry;
+    const DONE_PHASE: WritePhase = WritePhase::Done;
 
-    /// Builds the guard for a TMU configuration.
-    #[must_use]
-    pub fn new(cfg: &TmuConfig) -> Self {
-        WriteGuard {
-            variant: cfg.variant(),
-            engine: cfg.engine(),
-            prescaler: cfg.prescaler(),
-            sticky: cfg.sticky(),
-            budget_cfg: *cfg.budgets(),
-            ott: Ott::new(cfg.max_uniq_ids(), cfg.max_outstanding()),
-            remap: IdRemapper::new(cfg.max_uniq_ids(), cfg.txn_per_id()),
-            wheel: DeadlineWheel::new(cfg.max_outstanding()),
-            last_commit: 0,
-            pending_drain_beats: 0,
-            aw_pending: None,
-            stalled_this_cycle: false,
-            obs: WriteObservation::default(),
-        }
+    fn id(req: &AwBeat) -> AxiId {
+        req.id
     }
 
-    /// Residual abort-drain beats that will occupy the W channel before
-    /// any newly enqueued write's data: charged into the adaptive
-    /// queue-waiting budget.
-    pub fn set_pending_drain(&mut self, beats: u64) {
-        self.pending_drain_beats = beats;
+    fn addr(req: &AwBeat) -> Addr {
+        req.addr
     }
 
-    /// Replaces the budget configuration (software reprogramming via the
-    /// register file). Applies to transactions enqueued afterwards.
-    pub fn set_budgets(&mut self, budgets: BudgetConfig) {
-        self.budget_cfg = budgets;
+    fn beats(req: &AwBeat) -> u16 {
+        req.len.beats()
     }
 
-    /// Outstanding write transactions currently tracked.
-    #[must_use]
-    pub fn outstanding(&self) -> usize {
-        self.ott.len()
+    fn beat_bytes(req: &AwBeat) -> u32 {
+        req.size.bytes()
     }
 
-    /// Entries currently held by this guard's deadline wheel, including
-    /// lazily-invalidated ones (telemetry gauge; 0 under the per-cycle
-    /// reference engine).
-    #[must_use]
-    pub fn wheel_depth(&self) -> usize {
-        self.wheel.depth()
+    fn phase_is_done(phase: WritePhase) -> bool {
+        phase.is_done()
     }
 
-    /// Whether a new AW with `id` must be stalled this cycle
-    /// (saturation / remapper backpressure, paper §II-D). The decision is
-    /// remembered; call once per cycle from the forward pass.
-    pub fn decide_stall(&mut self, aw: Option<&AwBeat>) -> bool {
-        self.stalled_this_cycle = match aw {
-            // An already-allocated AW is never stalled.
-            _ if self.aw_pending.is_some() => false,
-            Some(beat) => self.ott.is_full() || self.remap.probe(beat.id).is_err(),
-            None => false,
-        };
-        self.stalled_this_cycle
+    fn phase_index(phase: WritePhase) -> usize {
+        phase.index()
     }
 
-    /// Captures the settled manager-side wires for this cycle.
-    pub fn observe(&mut self, port: &AxiPort) {
-        self.obs = WriteObservation {
-            aw_offered: port.aw.beat().copied(),
-            aw_fired: port.aw.fires(),
+    fn budgets(cfg: &BudgetConfig, beats: u16, load: QueueLoad) -> WriteBudgets {
+        cfg.write_budgets(beats, load)
+    }
+
+    fn tiny_budget(cfg: &BudgetConfig, beats: u16, load: QueueLoad) -> u64 {
+        cfg.tiny_write_budget(beats, load)
+    }
+
+    fn phase_budget(budgets: &WriteBudgets, phase: WritePhase) -> u64 {
+        budgets.for_phase(phase)
+    }
+
+    fn initial_budget(budgets: &WriteBudgets) -> u64 {
+        budgets.aw_handshake
+    }
+
+    fn observe_addr(port: &AxiPort) -> (Option<AwBeat>, bool) {
+        (port.aw.beat().copied(), port.aw.fires())
+    }
+
+    fn observe_data(port: &AxiPort) -> WriteDataObs {
+        WriteDataObs {
             w_offered: port.w.valid(),
             w_fired: port.w.fires(),
             b_offered: port.b.beat().copied(),
             b_fired: port.b.fired_beat().copied(),
-        };
-    }
-
-    /// The queue load ahead of a new arrival (adaptive-budget input).
-    fn queue_load(&self) -> QueueLoad {
-        QueueLoad {
-            txns_ahead: self.ott.len(),
-            beats_ahead: self.pending_drain_beats
-                + self
-                    .ott
-                    .iter()
-                    .map(|(_, e)| u64::from(e.tracker.beats_remaining()))
-                    .sum::<u64>(),
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn transition(
-        wheel: &mut DeadlineWheel,
-        engine: CounterEngine,
-        idx: LdIndex,
-        tracker: &mut WriteTracker,
-        to: WritePhase,
-        cycle: u64,
-        variant: TmuVariant,
-        telemetry: &mut TelemetryHub,
-    ) {
-        let from = tracker.phase;
-        if !from.is_done() {
-            // Latency of the finished phase: inclusive of this cycle; a
-            // same-cycle double transition yields zero.
-            tracker.phase_cycles[from.index()] =
-                (cycle + 1).saturating_sub(tracker.phase_started_at);
-        }
-        tracker.phase = to;
-        tracker.phase_started_at = cycle + 1;
-        if !to.is_done() {
-            telemetry.record(
-                cycle,
-                Self::SOURCE,
-                TraceEvent::PhaseTransition {
-                    dir: Dir::Write,
-                    id: tracker.aw.id.0,
-                    slot: idx as u32,
-                    from: from.into(),
-                    to: to.into(),
-                },
-            );
-        }
-        if variant == TmuVariant::FullCounter && !to.is_done() {
-            let budget = tracker.budgets.for_phase(to);
-            tracker.counter.rebudget(budget);
-            telemetry.record(
-                cycle,
-                Self::SOURCE,
-                TraceEvent::Rebudget {
-                    dir: Dir::Write,
-                    id: tracker.aw.id.0,
-                    slot: idx as u32,
-                    budget,
-                },
-            );
-            // The restarted counter receives its first tick in this
-            // commit; an already timed-out transaction never re-fires.
-            if engine == CounterEngine::DeadlineWheel && !tracker.timed_out {
-                let fire_at = cycle + tracker.counter.cycles_to_expiry() - 1;
-                wheel.arm(idx, cycle, fire_at);
-                telemetry.record(
-                    cycle,
-                    Self::SOURCE,
-                    TraceEvent::WheelArm {
-                        dir: Dir::Write,
-                        slot: idx as u32,
-                        fire_at,
-                    },
-                );
-            }
+    // A write's data length is fixed by the AW beat.
+    fn perf_beats(tracker: &WriteTracker) -> u16 {
+        tracker.req.len.beats()
+    }
+
+    // Aborting a write means answering its (single) B with `SLVERR`.
+    fn abort_txn(tracker: &WriteTracker) -> AbortTxn {
+        AbortTxn {
+            id: tracker.req.id,
+            beats_remaining: 1,
         }
     }
 
-    /// Advances the phase machines, ticks counters, and reports faults.
-    ///
-    /// `cycle` is the current cycle index; `perf` receives a record for
-    /// every completed transaction (Full-Counter granularity when the
-    /// variant is Fc); `telemetry` receives the structured event stream
-    /// (a disabled hub costs one branch per event).
-    pub fn commit(
-        &mut self,
+    // The manager still owes the undelivered W beats; the sever path
+    // absorbs them so the interconnect is not left mid-burst.
+    fn drain_beats(tracker: &WriteTracker) -> u64 {
+        u64::from(tracker.beats_remaining())
+    }
+
+    fn commit_data(
+        core: &mut GuardCore<WriteDir>,
+        data: &WriteDataObs,
         cycle: u64,
         perf: &mut PerfLog,
         telemetry: &mut TelemetryHub,
-    ) -> Vec<GuardFault> {
-        let obs = std::mem::take(&mut self.obs);
-        let mut faults = Vec::new();
-        self.last_commit = cycle;
-
-        // 1. New AW observed: allocate unless stalled or already pending.
-        if let Some(aw) = obs.aw_offered {
-            if self.aw_pending.is_none() && !self.stalled_this_cycle {
-                let load = self.queue_load();
-                let budgets = self.budgets_for(&aw, load);
-                let initial_budget = match self.variant {
-                    TmuVariant::TinyCounter => self.tiny_budget_for(&aw, load),
-                    TmuVariant::FullCounter => budgets.aw_handshake,
-                };
-                let uid = self
-                    .remap
-                    .acquire(aw.id)
-                    .expect("stall decision guaranteed admission");
-                let counter = PrescaledCounter::new(initial_budget, self.prescaler, self.sticky);
-                let fire_in = counter.cycles_to_expiry();
-                let tracker = WriteTracker {
-                    aw,
-                    phase: WritePhase::AwHandshake,
-                    beats_done: 0,
-                    counter,
-                    budgets,
-                    enqueued_at: cycle,
-                    phase_started_at: cycle,
-                    phase_cycles: [0; 6],
-                    timed_out: false,
-                };
-                let idx = self
-                    .ott
-                    .enqueue(uid, tracker)
-                    .expect("stall decision guaranteed capacity");
-                self.aw_pending = Some(idx);
-                telemetry.record(
-                    cycle,
-                    Self::SOURCE,
-                    TraceEvent::OttEnqueue {
-                        dir: Dir::Write,
-                        id: aw.id.0,
-                        addr: aw.addr.0,
-                        beats: aw.len.beats(),
-                        slot: idx as u32,
-                        phase: WritePhase::AwHandshake.into(),
-                    },
-                );
-                if self.engine == CounterEngine::DeadlineWheel {
-                    // First tick lands in this commit, so the expiry can
-                    // fire as early as this very cycle (fire_in >= 1).
-                    let fire_at = cycle + fire_in - 1;
-                    self.wheel.arm(idx, cycle, fire_at);
-                    telemetry.record(
-                        cycle,
-                        Self::SOURCE,
-                        TraceEvent::WheelArm {
-                            dir: Dir::Write,
-                            slot: idx as u32,
-                            fire_at,
-                        },
-                    );
-                }
-            }
-        }
-
-        // 2. AW handshake completes: enter the data-entry phase.
-        if obs.aw_fired {
-            if let Some(idx) = self.aw_pending.take() {
-                let variant = self.variant;
-                let engine = self.engine;
-                if let Some(entry) = self.ott.get_mut(idx) {
-                    Self::transition(
-                        &mut self.wheel,
-                        engine,
-                        idx,
-                        &mut entry.tracker,
-                        WritePhase::DataEntry,
-                        cycle,
-                        variant,
-                        telemetry,
-                    );
-                }
-            }
-        }
-
-        // 3. W beats route to the EI-front transaction (AW order).
-        if obs.w_offered || obs.w_fired {
-            if let Some(idx) = self.ott.ei_front() {
-                let variant = self.variant;
-                let engine = self.engine;
+    ) {
+        // W beats route to the EI-front transaction (AW order).
+        if data.w_offered || data.w_fired {
+            if let Some(idx) = core.ott.ei_front() {
+                let variant = core.variant;
+                let engine = core.engine;
                 let mut advance_ei = false;
-                let mut complete_data = false;
-                if let Some(entry) = self.ott.get_mut(idx) {
-                    let wheel = &mut self.wheel;
+                if let Some(entry) = core.ott.get_mut(idx) {
+                    let wheel = &mut core.wheel;
                     let t = &mut entry.tracker;
-                    if obs.w_offered && t.phase == WritePhase::DataEntry {
-                        Self::transition(
+                    if data.w_offered && t.phase == WritePhase::DataEntry {
+                        GuardCore::transition(
                             wheel,
                             engine,
                             idx,
@@ -356,24 +154,15 @@ impl WriteGuard {
                             telemetry,
                         );
                     }
-                    if obs.w_fired {
+                    if data.w_fired {
+                        let mut complete_data = false;
                         match t.phase {
                             WritePhase::FirstData => {
                                 t.beats_done = 1;
-                                if t.beats_done == t.aw.len.beats() {
-                                    Self::transition(
-                                        wheel,
-                                        engine,
-                                        idx,
-                                        t,
-                                        WritePhase::RespWait,
-                                        cycle,
-                                        variant,
-                                        telemetry,
-                                    );
+                                if t.beats_done == t.req.len.beats() {
                                     complete_data = true;
                                 } else {
-                                    Self::transition(
+                                    GuardCore::transition(
                                         wheel,
                                         engine,
                                         idx,
@@ -387,45 +176,45 @@ impl WriteGuard {
                             }
                             WritePhase::BurstTransfer => {
                                 t.beats_done += 1;
-                                if t.beats_done == t.aw.len.beats() {
-                                    Self::transition(
-                                        wheel,
-                                        engine,
-                                        idx,
-                                        t,
-                                        WritePhase::RespWait,
-                                        cycle,
-                                        variant,
-                                        telemetry,
-                                    );
-                                    complete_data = true;
-                                }
+                                complete_data = t.beats_done == t.req.len.beats();
                             }
                             // Early data for a transaction whose address
                             // has not been accepted: ignored here, the
                             // protocol checker reports it.
                             _ => {}
                         }
+                        if complete_data {
+                            GuardCore::transition(
+                                wheel,
+                                engine,
+                                idx,
+                                t,
+                                WritePhase::RespWait,
+                                cycle,
+                                variant,
+                                telemetry,
+                            );
+                            advance_ei = true;
+                        }
                     }
-                    advance_ei = complete_data;
                 }
                 if advance_ei {
-                    self.ott.ei_advance(idx);
+                    core.ott.ei_advance(idx);
                 }
             }
         }
 
-        // 4. B response: valid moves RespWait -> RespReady; the fired
-        //    handshake completes and retires the transaction.
-        if let Some(b) = obs.b_offered {
-            if let Some(uid) = self.remap.lookup(b.id) {
-                if let Some(idx) = self.ott.head_of(uid) {
-                    let variant = self.variant;
-                    let engine = self.engine;
-                    if let Some(entry) = self.ott.get_mut(idx) {
+        // B response: valid moves RespWait -> RespReady; the fired
+        // handshake completes and retires the transaction.
+        if let Some(b) = data.b_offered {
+            if let Some(uid) = core.remap.lookup(b.id) {
+                if let Some(idx) = core.ott.head_of(uid) {
+                    let variant = core.variant;
+                    let engine = core.engine;
+                    if let Some(entry) = core.ott.get_mut(idx) {
                         if entry.tracker.phase == WritePhase::RespWait {
-                            Self::transition(
-                                &mut self.wheel,
+                            GuardCore::transition(
+                                &mut core.wheel,
                                 engine,
                                 idx,
                                 &mut entry.tracker,
@@ -439,262 +228,19 @@ impl WriteGuard {
                 }
             }
         }
-        if let Some(b) = obs.b_fired {
-            if let Some(uid) = self.remap.lookup(b.id) {
-                let head_ready = self
+        if let Some(b) = data.b_fired {
+            if let Some(uid) = core.remap.lookup(b.id) {
+                let head_ready = core
                     .ott
                     .head_of(uid)
-                    .and_then(|idx| self.ott.get(idx))
+                    .and_then(|idx| core.ott.get(idx))
                     .is_some_and(|e| e.tracker.phase == WritePhase::RespReady);
                 if head_ready {
-                    let (idx, entry) = self.ott.dequeue_head(uid).expect("head exists");
-                    self.remap.release(uid);
-                    self.wheel.disarm(idx);
-                    let mut t = entry.tracker;
-                    Self::transition(
-                        &mut self.wheel,
-                        self.engine,
-                        idx,
-                        &mut t,
-                        WritePhase::Done,
-                        cycle,
-                        self.variant,
-                        telemetry,
-                    );
-                    let total = cycle - t.enqueued_at + 1;
-                    perf.record(
-                        PerfRecord {
-                            id: t.aw.id,
-                            addr: t.aw.addr,
-                            is_write: true,
-                            beats: t.aw.len.beats(),
-                            total_cycles: total,
-                            phase_cycles: t.phase_cycles,
-                            completed_at: cycle,
-                        },
-                        t.aw.size.bytes(),
-                    );
-                    telemetry.record(
-                        cycle,
-                        Self::SOURCE,
-                        TraceEvent::OttDequeue {
-                            dir: Dir::Write,
-                            id: t.aw.id.0,
-                            slot: idx as u32,
-                            total_cycles: total,
-                        },
-                    );
+                    core.retire(uid, cycle, perf, telemetry);
                 }
                 // A B for an ID whose head is not awaiting one is a
                 // protocol violation — reported by the embedded checker.
             }
         }
-
-        // 5. Flag expiries. The reference engine ticks every live
-        //    counter each cycle; the deadline wheel only touches the
-        //    counters whose precomputed expiry is due, materializing
-        //    their elapsed ticks on demand.
-        match self.engine {
-            CounterEngine::PerCycle => {
-                for (_, entry) in self.ott.iter_mut() {
-                    let t = &mut entry.tracker;
-                    if t.phase.is_done() || t.timed_out {
-                        continue;
-                    }
-                    t.counter.tick();
-                    if t.counter.expired() {
-                        t.timed_out = true;
-                        telemetry.record(
-                            cycle,
-                            Self::SOURCE,
-                            TraceEvent::Fault {
-                                class: FaultClass::Timeout,
-                                dir: Some(Dir::Write),
-                                id: t.aw.id.0,
-                                phase: match self.variant {
-                                    TmuVariant::FullCounter => Some(t.phase.into()),
-                                    TmuVariant::TinyCounter => None,
-                                },
-                            },
-                        );
-                        faults.push(GuardFault {
-                            kind: FaultKind::Timeout,
-                            phase: match self.variant {
-                                TmuVariant::FullCounter => Some(t.phase.into()),
-                                TmuVariant::TinyCounter => None,
-                            },
-                            id: t.aw.id,
-                            addr: t.aw.addr,
-                            inflight_cycles: cycle - t.enqueued_at + 1,
-                        });
-                    }
-                }
-            }
-            CounterEngine::DeadlineWheel => {
-                while let Some((idx, armed_at)) = self.wheel.pop_expired(cycle) {
-                    let Some(entry) = self.ott.get_mut(idx) else {
-                        continue;
-                    };
-                    let t = &mut entry.tracker;
-                    if t.phase.is_done() || t.timed_out {
-                        continue;
-                    }
-                    t.counter.advance(cycle - armed_at + 1);
-                    debug_assert!(
-                        t.counter.expired(),
-                        "deadline fired but counter not expired"
-                    );
-                    t.timed_out = true;
-                    telemetry.record(
-                        cycle,
-                        Self::SOURCE,
-                        TraceEvent::WheelFire {
-                            dir: Dir::Write,
-                            slot: idx as u32,
-                            armed_at,
-                        },
-                    );
-                    telemetry.record(
-                        cycle,
-                        Self::SOURCE,
-                        TraceEvent::Fault {
-                            class: FaultClass::Timeout,
-                            dir: Some(Dir::Write),
-                            id: t.aw.id.0,
-                            phase: match self.variant {
-                                TmuVariant::FullCounter => Some(t.phase.into()),
-                                TmuVariant::TinyCounter => None,
-                            },
-                        },
-                    );
-                    faults.push(GuardFault {
-                        kind: FaultKind::Timeout,
-                        phase: match self.variant {
-                            TmuVariant::FullCounter => Some(t.phase.into()),
-                            TmuVariant::TinyCounter => None,
-                        },
-                        id: t.aw.id,
-                        addr: t.aw.addr,
-                        inflight_cycles: cycle - t.enqueued_at + 1,
-                    });
-                }
-            }
-        }
-
-        if self.stalled_this_cycle {
-            // Saturation backpressure held off a new AW this cycle:
-            // counted so the sampler can expose stall pressure over time.
-            telemetry.record(
-                cycle,
-                Self::SOURCE,
-                TraceEvent::Counter {
-                    name: "tmu.write.stall_cycles",
-                    delta: 1,
-                },
-            );
-        }
-        self.stalled_this_cycle = false;
-        faults
-    }
-
-    fn budgets_for(&self, aw: &AwBeat, load: QueueLoad) -> WriteBudgets {
-        self.budget_cfg.write_budgets(aw.len.beats(), load)
-    }
-
-    fn tiny_budget_for(&self, aw: &AwBeat, load: QueueLoad) -> u64 {
-        self.budget_cfg.tiny_write_budget(aw.len.beats(), load)
-    }
-
-    /// Builds the abort obligations for every outstanding write (one
-    /// `SLVERR` B each, plus the residual W beats the manager still has
-    /// to send) and clears all tracking state. Used when the TMU severs
-    /// the subordinate.
-    pub fn drain_for_abort(&mut self) -> super::AbortSet {
-        let responses = self
-            .ott
-            .iter()
-            .map(|(_, e)| AbortTxn {
-                id: e.tracker.aw.id,
-                beats_remaining: 1,
-            })
-            .collect();
-        let drain_w_beats = self
-            .ott
-            .iter()
-            .map(|(_, e)| u64::from(e.tracker.beats_remaining()))
-            .sum();
-        let accept_pending_addr = self.aw_pending.is_some();
-        self.clear();
-        super::AbortSet {
-            responses,
-            drain_w_beats,
-            accept_pending_addr,
-        }
-    }
-
-    /// Discards all tracking state (reset path).
-    pub fn clear(&mut self) {
-        self.ott.clear();
-        self.remap.clear();
-        self.wheel.clear();
-        self.aw_pending = None;
-        self.stalled_this_cycle = false;
-        self.obs = WriteObservation::default();
-    }
-
-    /// The earliest cycle at which an armed timeout can fire, or `None`
-    /// when nothing is armed (or the per-cycle reference engine is
-    /// selected, which has no schedule). Monotone under quiescence:
-    /// while no new beats arrive, no deadline can move earlier.
-    pub fn next_deadline(&mut self) -> Option<u64> {
-        match self.engine {
-            CounterEngine::PerCycle => None,
-            CounterEngine::DeadlineWheel => self.wheel.next_deadline(),
-        }
-    }
-
-    /// Phase of the transaction currently at the head of `id`'s FIFO
-    /// (test/diagnostic hook).
-    #[must_use]
-    pub fn head_phase(&self, id: AxiId) -> Option<WritePhase> {
-        let uid = self.remap.lookup(id)?;
-        let idx = self.ott.head_of(uid)?;
-        self.ott.get(idx).map(|e| e.tracker.phase)
-    }
-
-    /// Diagnostic snapshot of all tracked transactions:
-    /// `(id, phase, counter)`.
-    #[must_use]
-    pub fn debug_entries(&self) -> Vec<(AxiId, WritePhase, PrescaledCounter)> {
-        self.ott
-            .iter()
-            .map(|(idx, e)| {
-                let mut counter = e.tracker.counter;
-                // Under the wheel engine stored counters are stale;
-                // materialize the ticks elapsed since the last arm.
-                if self.engine == CounterEngine::DeadlineWheel
-                    && !e.tracker.timed_out
-                    && !e.tracker.phase.is_done()
-                {
-                    let armed_at = self.wheel.armed_at(idx);
-                    counter.advance(self.last_commit.saturating_sub(armed_at) + 1);
-                }
-                (e.tracker.aw.id, e.tracker.phase, counter)
-            })
-            .collect()
-    }
-
-    /// Internal consistency check for property tests.
-    ///
-    /// # Panics
-    ///
-    /// Panics on OTT inconsistencies.
-    pub fn assert_consistent(&self) {
-        self.ott.assert_consistent();
-        assert_eq!(
-            self.remap.outstanding(),
-            self.ott.len(),
-            "remapper refcounts must match OTT occupancy"
-        );
     }
 }

@@ -1,0 +1,264 @@
+//! The top-level Transaction Monitoring Unit (paper §II, Figs. 1 & 2).
+//!
+//! [`Tmu`] is a drop-in block between the AXI4 interconnect (manager
+//! side) and a subordinate. Per cycle, the surrounding harness calls, in
+//! order:
+//!
+//! 1. [`Tmu::forward_request`] — after the manager drives its wires:
+//!    copies AW/W/AR valid+payload and B/R ready onto the subordinate
+//!    port (possibly gated: OTT saturation backpressure, or severed after
+//!    a fault);
+//! 2. [`Tmu::forward_response`] — after the subordinate drives its wires:
+//!    copies B/R valid+payload and AW/W/AR ready back to the manager
+//!    (possibly replaced by `SLVERR` abort responses);
+//! 3. [`Tmu::observe`] — taps the settled manager-side wires ("listens in
+//!    parallel", adding no latency on the datapath);
+//! 4. [`Tmu::commit`] — advances the guards' phase machines and timeout
+//!    counters, detects faults, and steps the recovery state machine.
+//!
+//! # Fault reaction (paper §II-B)
+//!
+//! On detecting a protocol violation or timeout the TMU severs both
+//! request and response paths, aborts every outstanding transaction by
+//! answering the manager with `SLVERR`, raises an interrupt, and requests
+//! an external hardware reset of the subordinate. Once the reset
+//! completes ([`Tmu::reset_done`]) it resumes normal monitoring.
+//!
+//! # Module map
+//!
+//! The facade is this module's [`Tmu`] struct; its behaviour is split by
+//! concern into focused submodules, all implementing on the same type:
+//!
+//! * `datapath.rs` — the combinational forwarding passes:
+//!   request/response forwarding with stall gating, sever/abort
+//!   response driving, drain absorption, and wire observation;
+//! * `fsm.rs` — the clocked commit path: fault collection, the
+//!   Monitoring → Aborting → WaitReset recovery state machine, and reset
+//!   handshaking;
+//! * `regs.rs` — the software view: register reads/writes (error-report
+//!   assembly into `ErrHeadInfo`) and interrupt management;
+//! * `publish.rs` — telemetry publication: occupancy gauges, trace/span
+//!   export, and metrics snapshots.
+
+mod datapath;
+mod fsm;
+mod publish;
+mod regs;
+#[cfg(test)]
+mod tests;
+
+use std::collections::VecDeque;
+
+use axi4::checker::ProtocolChecker;
+use serde::{Deserialize, Serialize};
+use sim::EventTrace;
+use tmu_telemetry::TelemetryHub;
+
+use crate::config::{RegisterFile, TmuConfig, TmuVariant};
+use crate::guard::{AbortTxn, ReadGuard, WriteGuard};
+use crate::log::{ErrorLog, ErrorRecord, PerfLog};
+
+/// The TMU's recovery state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TmuState {
+    /// Normal operation: pass-through forwarding, parallel monitoring.
+    Monitoring,
+    /// Fault detected: paths severed, outstanding transactions being
+    /// aborted with `SLVERR` towards the manager.
+    Aborting,
+    /// All transactions aborted; waiting for the external reset unit to
+    /// reinitialize the subordinate.
+    WaitReset,
+}
+
+/// The Transaction Monitoring Unit. See the [module docs](self) for the
+/// per-cycle protocol and the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Tmu {
+    cfg: TmuConfig,
+    regs: RegisterFile,
+    write_guard: WriteGuard,
+    read_guard: ReadGuard,
+    checker: ProtocolChecker,
+    state: TmuState,
+    err_log: ErrorLog,
+    perf_log: PerfLog,
+    abort_b: VecDeque<AbortTxn>,
+    abort_r: VecDeque<AbortTxn>,
+    /// Residual W beats of aborted writes still owed by the manager
+    /// (AXI forbids cancelling an issued burst): absorbed and discarded.
+    w_drain_beats: u64,
+    /// A held AW/AR the TMU must accept itself while severed.
+    accept_aw: bool,
+    accept_ar: bool,
+    /// Reset completion arrived while address accepts were pending.
+    reset_completed: bool,
+    reset_request: bool,
+    stall_aw: bool,
+    stall_ar: bool,
+    abort_b_fired: bool,
+    abort_r_fired: bool,
+    drain_w_fired: bool,
+    accept_aw_fired: bool,
+    accept_ar_fired: bool,
+    pending_violations: Vec<axi4::checker::Violation>,
+    faults_detected: u64,
+    resets_requested: u64,
+    cycles: u64,
+    trace: EventTrace,
+    telemetry: TelemetryHub,
+}
+
+impl Tmu {
+    /// Builds a TMU from its elaboration-time configuration. The
+    /// register file comes up enabled with the configured budgets.
+    #[must_use]
+    pub fn new(cfg: TmuConfig) -> Self {
+        let regs = RegisterFile::from_budgets(cfg.budgets(), cfg.prescaler());
+        Tmu {
+            write_guard: WriteGuard::new(&cfg),
+            read_guard: ReadGuard::new(&cfg),
+            checker: ProtocolChecker::new(),
+            regs,
+            cfg,
+            state: TmuState::Monitoring,
+            err_log: ErrorLog::new(),
+            perf_log: PerfLog::new(),
+            abort_b: VecDeque::new(),
+            abort_r: VecDeque::new(),
+            w_drain_beats: 0,
+            accept_aw: false,
+            accept_ar: false,
+            reset_completed: false,
+            reset_request: false,
+            stall_aw: false,
+            stall_ar: false,
+            abort_b_fired: false,
+            abort_r_fired: false,
+            drain_w_fired: false,
+            accept_aw_fired: false,
+            accept_ar_fired: false,
+            pending_violations: Vec::new(),
+            faults_detected: 0,
+            resets_requested: 0,
+            cycles: 0,
+            trace: EventTrace::new(),
+            telemetry: TelemetryHub::default(),
+        }
+    }
+
+    /// The elaboration-time configuration.
+    #[must_use]
+    pub fn config(&self) -> &TmuConfig {
+        &self.cfg
+    }
+
+    /// The recovery state machine's current state.
+    #[must_use]
+    pub fn state(&self) -> TmuState {
+        self.state
+    }
+
+    /// Outstanding transactions currently tracked (both directions).
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.write_guard.outstanding() + self.read_guard.outstanding()
+    }
+
+    /// The earliest future cycle at which a timeout can fire, across both
+    /// guards, or `None` when no deadline is armed (nothing outstanding,
+    /// the TMU is disabled or mid-recovery, or the per-cycle reference
+    /// engine — which has no schedule — is selected).
+    ///
+    /// This is the fast-forward bound for event-driven harnesses
+    /// (`sim::Simulation::run_until_event`): while the system is
+    /// otherwise quiescent, no observable TMU output can change before
+    /// this cycle. Deadlines only move earlier in response to new beats,
+    /// so a stale bound is always conservative.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        if !self.regs.enabled() || self.state != TmuState::Monitoring {
+            return None;
+        }
+        match (
+            self.write_guard.next_deadline(),
+            self.read_guard.next_deadline(),
+        ) {
+            (Some(w), Some(r)) => Some(w.min(r)),
+            (w, r) => w.or(r),
+        }
+    }
+
+    /// Residual W beats of aborted writes still being absorbed
+    /// (diagnostics; nonzero only around a recovery).
+    #[must_use]
+    pub fn drain_beats_pending(&self) -> u64 {
+        self.w_drain_beats
+    }
+
+    /// The error log.
+    #[must_use]
+    pub fn error_log(&self) -> &ErrorLog {
+        &self.err_log
+    }
+
+    /// Timestamped lifecycle trace (fault, sever, abort-complete, reset,
+    /// resume events) — the narrative counterpart of the error log.
+    #[must_use]
+    pub fn trace(&self) -> &EventTrace {
+        &self.trace
+    }
+
+    /// The performance log (per-phase detail in Full-Counter mode).
+    #[must_use]
+    pub fn perf_log(&self) -> &PerfLog {
+        &self.perf_log
+    }
+
+    /// The most recent fault record, if any.
+    #[must_use]
+    pub fn last_fault(&self) -> Option<&ErrorRecord> {
+        self.err_log.last()
+    }
+
+    /// Fault events detected (each may carry several log records).
+    #[must_use]
+    pub fn faults_detected(&self) -> u64 {
+        self.faults_detected
+    }
+
+    /// Reset requests issued to the external reset unit.
+    #[must_use]
+    pub fn resets_requested(&self) -> u64 {
+        self.resets_requested
+    }
+
+    /// The counter variant this instance monitors with.
+    #[must_use]
+    pub fn variant(&self) -> TmuVariant {
+        self.cfg.variant()
+    }
+
+    /// Diagnostic access to the write guard.
+    #[must_use]
+    pub fn write_guard(&self) -> &WriteGuard {
+        &self.write_guard
+    }
+
+    /// Diagnostic access to the read guard.
+    #[must_use]
+    pub fn read_guard(&self) -> &ReadGuard {
+        &self.read_guard
+    }
+
+    /// Structural consistency check across both guards (property-test
+    /// hook; also invoked automatically after every guard commit when
+    /// `debug_assertions` are on).
+    ///
+    /// # Panics
+    ///
+    /// Panics on OTT/remapper inconsistencies.
+    pub fn assert_consistent(&self) {
+        self.write_guard.assert_consistent();
+        self.read_guard.assert_consistent();
+    }
+}

@@ -1,0 +1,73 @@
+//! Telemetry publication: occupancy gauges into the metrics hub,
+//! Chrome-trace/metrics export, and point-in-time snapshots.
+
+use tmu_telemetry::{MetricsHub, TelemetryConfig, TelemetryHub};
+
+use super::Tmu;
+
+impl Tmu {
+    /// Publishes the TMU's occupancy gauges into the metrics hub.
+    pub(super) fn publish_gauges(&mut self) {
+        let write_out = self.write_guard.outstanding() as u64;
+        let read_out = self.read_guard.outstanding() as u64;
+        let write_depth = self.write_guard.wheel_depth() as u64;
+        let read_depth = self.read_guard.wheel_depth() as u64;
+        let faults = self.faults_detected;
+        let drain = self.w_drain_beats;
+        let metrics = self.telemetry.metrics_mut();
+        metrics.gauge_set("tmu.write.ott_occupancy", write_out);
+        metrics.gauge_set("tmu.read.ott_occupancy", read_out);
+        metrics.gauge_set("tmu.outstanding", write_out + read_out);
+        metrics.gauge_set("tmu.write.wheel_depth", write_depth);
+        metrics.gauge_set("tmu.read.wheel_depth", read_depth);
+        metrics.gauge_set("tmu.faults_detected", faults);
+        metrics.gauge_set("tmu.drain_beats_pending", drain);
+    }
+
+    /// Switches the unified telemetry layer on: typed events into the
+    /// ring, transaction spans, and periodic metrics sampling. A
+    /// default-constructed TMU leaves telemetry off, in which case every
+    /// record call in the pipeline costs one branch.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry.enable(config);
+    }
+
+    /// The unified telemetry hub (typed events, spans, metrics).
+    #[must_use]
+    pub fn telemetry(&self) -> &TelemetryHub {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access, for attaching counters or pausing
+    /// recording mid-run.
+    #[must_use]
+    pub fn telemetry_mut(&mut self) -> &mut TelemetryHub {
+        &mut self.telemetry
+    }
+
+    /// Chrome trace-event JSON of the recorded transaction spans —
+    /// loadable in Perfetto / `chrome://tracing`.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        self.telemetry.chrome_trace_json()
+    }
+
+    /// Periodic metrics samples as JSON lines.
+    #[must_use]
+    pub fn metrics_jsonl(&self) -> String {
+        self.telemetry.metrics_jsonl()
+    }
+
+    /// A point-in-time metrics snapshot: the hub's counters plus
+    /// freshly published occupancy gauges, with the performance log's
+    /// total-latency distribution folded in as a histogram. Works with
+    /// telemetry disabled (counters are then zero but gauges and the
+    /// latency histogram are still live).
+    #[must_use]
+    pub fn metrics_snapshot(&mut self) -> MetricsHub {
+        self.publish_gauges();
+        let mut hub = self.telemetry.metrics().clone();
+        hub.set_histogram("tmu.latency.total", self.perf_log.total_latency().clone());
+        hub
+    }
+}

@@ -1,0 +1,55 @@
+//! The software view: register reads and writes, error-report assembly
+//! into the packed `ErrHeadInfo` word, budget reprogramming, and the
+//! level interrupt towards the CPU.
+
+use super::Tmu;
+use crate::config::Reg;
+
+impl Tmu {
+    /// Software register read.
+    #[must_use]
+    pub fn read_reg(&self, reg: Reg) -> u32 {
+        match reg {
+            Reg::ErrCount => self.err_log.len() as u32,
+            Reg::ErrHeadInfo => match self.err_log.iter().next() {
+                None => 0,
+                Some(rec) => {
+                    let kind = u32::from(rec.kind.reg_code()) << 24;
+                    let phase = u32::from(rec.phase.map_or(0, |p| p.reg_code())) << 16;
+                    let id = u32::from(rec.id.map_or(0, |i| i.0));
+                    kind | phase | id
+                }
+            },
+            Reg::ErrHeadCycle => self.err_log.iter().next().map_or(0, |rec| rec.cycle as u32),
+            _ => self.regs.read(reg),
+        }
+    }
+
+    /// Software register write. Budget writes take effect for
+    /// transactions enqueued afterwards; writing [`Reg::ErrPop`] pops
+    /// the oldest error-log entry.
+    pub fn write_reg(&mut self, reg: Reg, value: u32) {
+        if reg == Reg::ErrPop {
+            let _ = self.err_log.pop();
+            return;
+        }
+        self.regs.write(reg, value);
+        let mut budgets = self.regs.budgets();
+        budgets.tiny_total_override = self.cfg.budgets().tiny_total_override;
+        budgets.queue_wait_per_beat = self.cfg.budgets().queue_wait_per_beat;
+        self.write_guard.set_budgets(budgets);
+        self.read_guard.set_budgets(budgets);
+    }
+
+    /// Level interrupt towards the CPU (cleared by software via
+    /// [`Reg::IrqStatus`]).
+    #[must_use]
+    pub fn irq_pending(&self) -> bool {
+        self.regs.irq_pending()
+    }
+
+    /// Software clears the interrupt (W1C on the status register).
+    pub fn clear_irq(&mut self) {
+        self.regs.write(Reg::IrqStatus, u32::MAX);
+    }
+}

@@ -18,8 +18,8 @@ use super::ld::LdIndex;
 /// use tmu::ott::EiTable;
 ///
 /// let mut ei = EiTable::new(4);
-/// ei.push(2).unwrap();
-/// ei.push(0).unwrap();
+/// ei.push(2).expect("empty FIFO of capacity 4 accepts");
+/// ei.push(0).expect("one of four slots used");
 /// assert_eq!(ei.front(), Some(2));
 /// assert_eq!(ei.pop_front(), Some(2));
 /// assert_eq!(ei.front(), Some(0));

@@ -36,12 +36,12 @@ enum Row<S> {
 /// use tmu::ott::LdTable;
 ///
 /// let mut ld: LdTable<&str> = LdTable::new(2);
-/// let a = ld.alloc(0, "txn-a").unwrap();
-/// let b = ld.alloc(1, "txn-b").unwrap();
+/// let a = ld.alloc(0, "txn-a").expect("2-row table has a free row");
+/// let b = ld.alloc(1, "txn-b").expect("one row still free");
 /// assert!(ld.alloc(0, "txn-c").is_none(), "table full");
 /// ld.free(a);
 /// assert!(ld.alloc(0, "txn-c").is_some());
-/// assert_eq!(ld.get(b).unwrap().tracker, "txn-b");
+/// assert_eq!(ld.get(b).expect("b was never freed").tracker, "txn-b");
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LdTable<S> {

@@ -37,11 +37,11 @@ use crate::remap::UniqId;
 /// use tmu::ott::Ott;
 ///
 /// let mut ott: Ott<&str> = Ott::new(2, 4);
-/// let a = ott.enqueue(0, "first").unwrap();
-/// let b = ott.enqueue(0, "second").unwrap();
+/// let a = ott.enqueue(0, "first").expect("empty OTT has capacity");
+/// let b = ott.enqueue(0, "second").expect("capacity 2 fits a second entry");
 /// assert_eq!(ott.head_of(0), Some(a));
 /// assert_eq!(ott.ei_front(), Some(a));
-/// let done = ott.dequeue_head(0).unwrap();
+/// let done = ott.dequeue_head(0).expect("UID 0 has a queued head");
 /// assert_eq!(done.1.tracker, "first");
 /// assert_eq!(ott.head_of(0), Some(b));
 /// ```

@@ -47,11 +47,11 @@ struct Slot {
 /// use axi4::AxiId;
 ///
 /// let mut remap = IdRemapper::new(2, 4);
-/// let a = remap.acquire(AxiId(0x700)).unwrap();
-/// let b = remap.acquire(AxiId(0x003)).unwrap();
+/// let a = remap.acquire(AxiId(0x700)).expect("2 slots, none used");
+/// let b = remap.acquire(AxiId(0x003)).expect("one slot still free");
 /// assert_ne!(a, b);
 /// // Same raw ID maps to the same slot while live.
-/// assert_eq!(remap.acquire(AxiId(0x700)).unwrap(), a);
+/// assert_eq!(remap.acquire(AxiId(0x700)).expect("ID is live"), a);
 /// // A third distinct ID stalls.
 /// assert!(remap.acquire(AxiId(0x055)).is_err());
 /// ```

@@ -19,6 +19,8 @@
 //!   pacing, frame accounting and a hardware reset input.
 //! * [`link`] — a single guarded manager↔subordinate link, the
 //!   IP-level fault-injection harness of Fig. 9.
+//! * [`fabric`] — a sharded bank of per-port TMUs behind the demux, with
+//!   merged fault/interrupt views and independent per-port recovery.
 //! * [`probe`] — VCD waveform probing of any port's wires.
 //! * [`system`] — the full assembly: two managers → mux → demux →
 //!   {memory, TMU + Ethernet}, plus the reset controller and interrupt
@@ -41,6 +43,7 @@
 pub mod demux;
 pub mod dma;
 pub mod ethernet;
+pub mod fabric;
 pub mod link;
 pub mod manager;
 pub mod memory;
@@ -51,6 +54,7 @@ pub mod system;
 pub use demux::{AddrRegion, Demux};
 pub use dma::{Descriptor, DmaEngine, DmaOutcome};
 pub use ethernet::{EthConfig, EthSub};
+pub use fabric::MonitorFabric;
 pub use link::{AxiSubordinate, DeadSub, GuardedLink};
 pub use manager::{MgrStats, TrafficGen, TrafficPattern};
 pub use memory::{MemConfig, MemSub};

@@ -2,24 +2,28 @@
 //!
 //! Two traffic-generating managers (the "CPU" and "DMA" roles) feed an
 //! AXI mux; its trunk is demultiplexed by address onto a memory
-//! subordinate and an Ethernet-like peripheral. The TMU sits between the
-//! crossbar and the Ethernet IP, observing all traffic flowing through
-//! it. A reset controller and an interrupt line close the recovery loop:
-//! on a fault the TMU severs the link, aborts outstanding transactions
-//! with `SLVERR`, raises the interrupt, and requests a reset of the
-//! Ethernet IP; once the reset completes, monitoring resumes.
+//! subordinate and an Ethernet-like peripheral. A sharded
+//! [`MonitorFabric`] sits between the crossbar and the subordinates with
+//! one TMU slot per demux port: the Ethernet port is always monitored,
+//! the memory port optionally (the paper's mixed-criticality
+//! deployment). Per-port reset lines and the merged interrupt line close
+//! the recovery loop: on a fault a slot's TMU severs its link, aborts
+//! outstanding transactions with `SLVERR`, raises the interrupt, and
+//! requests a reset of its subordinate; once that reset completes,
+//! monitoring resumes — on that port alone, while the others keep moving
+//! traffic.
 //!
 //! [`System::step`] wires the two-phase combinational passes in the
 //! exact dependency order; see the source for the pass list.
 
 use axi4::channel::AxiPort;
 use faults::{FaultPlan, Injector};
-use sim::Reset;
 use tmu::{Tmu, TmuConfig};
 use tmu_telemetry::TelemetryConfig;
 
 use crate::demux::{AddrRegion, Demux};
 use crate::ethernet::{EthConfig, EthSub};
+use crate::fabric::MonitorFabric;
 use crate::manager::{MgrStats, TrafficGen, TrafficPattern};
 use crate::memory::{MemConfig, MemSub};
 use crate::mux::Mux;
@@ -107,12 +111,9 @@ pub struct System {
     demux: Demux,
     mem: MemSub,
     eth: EthSub,
-    tmu: Tmu,
-    mem_tmu: Option<Tmu>,
+    fabric: MonitorFabric,
     injector: Injector,
     mem_injector: Injector,
-    reset: Reset,
-    mem_reset: Reset,
     // Ports.
     mgr_ports: Vec<AxiPort>,
     trunk: AxiPort,
@@ -130,6 +131,11 @@ impl System {
     /// Assembles the system.
     #[must_use]
     pub fn new(cfg: SystemConfig) -> Self {
+        let mut fabric = MonitorFabric::new(2);
+        fabric.attach(ETH_IDX, cfg.tmu, cfg.reset_duration);
+        if let Some(mem_cfg) = cfg.mem_tmu {
+            fabric.attach(MEM_IDX, mem_cfg, cfg.reset_duration);
+        }
         System {
             cpu: TrafficGen::new(cfg.cpu_pattern, cfg.seed ^ 0x1),
             dma: TrafficGen::new(cfg.dma_pattern, cfg.seed ^ 0x2),
@@ -146,12 +152,9 @@ impl System {
             ]),
             mem: MemSub::new(cfg.mem),
             eth: EthSub::new(cfg.eth),
-            tmu: Tmu::new(cfg.tmu),
-            mem_tmu: cfg.mem_tmu.map(Tmu::new),
+            fabric,
             injector: Injector::idle(),
             mem_injector: Injector::idle(),
-            reset: Reset::with_duration(cfg.reset_duration),
-            mem_reset: Reset::with_duration(cfg.reset_duration),
             mgr_ports: vec![AxiPort::new(), AxiPort::new()],
             trunk: AxiPort::new(),
             sub_ports: vec![AxiPort::new(), AxiPort::new()],
@@ -181,22 +184,19 @@ impl System {
     /// system. The system publishes manager and Ethernet gauges
     /// (`system.*`, `eth.*`) into the Ethernet TMU's periodic samples.
     pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
-        self.tmu.enable_telemetry(config);
-        if let Some(mem_tmu) = &mut self.mem_tmu {
-            mem_tmu.enable_telemetry(config);
-        }
+        self.fabric.enable_telemetry(config);
     }
 
     /// Chrome trace-event JSON of the Ethernet TMU's transaction spans.
     #[must_use]
     pub fn chrome_trace_json(&self) -> String {
-        self.tmu.chrome_trace_json()
+        self.tmu().chrome_trace_json()
     }
 
     /// The Ethernet TMU's periodic metrics samples as JSON lines.
     #[must_use]
     pub fn metrics_jsonl(&self) -> String {
-        self.tmu.metrics_jsonl()
+        self.tmu().metrics_jsonl()
     }
 
     /// Arms a fault on the Ethernet link.
@@ -236,14 +236,12 @@ impl System {
             .corrupt_manager_side(&mut self.sub_ports[ETH_IDX], cycle);
         self.mem_injector
             .corrupt_manager_side(&mut self.sub_ports[MEM_IDX], cycle);
-        // Pass 4: TMU request forwarding (possibly severed).
-        self.tmu
-            .forward_request(&self.sub_ports[ETH_IDX], &mut self.eth_port);
-        if let Some(mem_tmu) = &mut self.mem_tmu {
-            mem_tmu.forward_request(&self.sub_ports[MEM_IDX], &mut self.mem_port);
-        } else {
-            self.mem_port.forward_request_from(&self.sub_ports[MEM_IDX]);
-        }
+        // Pass 4: fabric request forwarding (possibly severed; plain
+        // wire copy on unmonitored ports).
+        self.fabric
+            .forward_request(ETH_IDX, &self.sub_ports[ETH_IDX], &mut self.eth_port);
+        self.fabric
+            .forward_request(MEM_IDX, &self.sub_ports[MEM_IDX], &mut self.mem_port);
         // Pass 5: subordinates drive.
         self.mem.drive(&mut self.mem_port);
         self.eth.drive(&mut self.eth_port);
@@ -252,14 +250,11 @@ impl System {
             .corrupt_subordinate_side(&mut self.eth_port, cycle);
         self.mem_injector
             .corrupt_subordinate_side(&mut self.mem_port, cycle);
-        // Pass 6: TMU response forwarding (possibly SLVERR aborts).
-        self.tmu
-            .forward_response(&self.eth_port, &mut self.sub_ports[ETH_IDX]);
-        if let Some(mem_tmu) = &mut self.mem_tmu {
-            mem_tmu.forward_response(&self.mem_port, &mut self.sub_ports[MEM_IDX]);
-        } else {
-            self.sub_ports[MEM_IDX].forward_response_from(&self.mem_port);
-        }
+        // Pass 6: fabric response forwarding (possibly SLVERR aborts).
+        self.fabric
+            .forward_response(ETH_IDX, &self.eth_port, &mut self.sub_ports[ETH_IDX]);
+        self.fabric
+            .forward_response(MEM_IDX, &self.mem_port, &mut self.sub_ports[MEM_IDX]);
         // Pass 7: demux response arbitration onto the trunk.
         self.demux
             .forward_responses(&self.sub_ports, &mut self.trunk);
@@ -269,26 +264,17 @@ impl System {
         // Pass 9: response-ready back-propagation down the hierarchy.
         self.demux
             .backprop_response_ready(&self.trunk, &mut self.sub_ports);
-        self.tmu
-            .backprop_response_ready(&self.sub_ports[ETH_IDX], &mut self.eth_port);
-        if let Some(mem_tmu) = &mut self.mem_tmu {
-            mem_tmu.backprop_response_ready(&self.sub_ports[MEM_IDX], &mut self.mem_port);
-        } else {
-            self.mem_port
-                .b
-                .forward_ready_from(&self.sub_ports[MEM_IDX].b);
-            self.mem_port
-                .r
-                .forward_ready_from(&self.sub_ports[MEM_IDX].r);
-        }
+        self.fabric
+            .backprop_response_ready(ETH_IDX, &self.sub_ports[ETH_IDX], &mut self.eth_port);
+        self.fabric
+            .backprop_response_ready(MEM_IDX, &self.sub_ports[MEM_IDX], &mut self.mem_port);
         if let Some(probe) = &mut self.probe {
             probe.sample(cycle, &self.sub_ports[ETH_IDX]);
         }
-        // Pass 10: the TMUs tap their settled manager-side wires.
-        self.tmu.observe(&self.sub_ports[ETH_IDX]);
-        if let Some(mem_tmu) = &mut self.mem_tmu {
-            mem_tmu.observe(&self.sub_ports[MEM_IDX]);
-        }
+        // Pass 10: the fabric's TMUs tap their settled manager-side
+        // wires.
+        self.fabric.observe(ETH_IDX, &self.sub_ports[ETH_IDX]);
+        self.fabric.observe(MEM_IDX, &self.sub_ports[MEM_IDX]);
 
         // Clock commit.
         self.cpu.commit(&self.mgr_ports[0], cycle);
@@ -301,11 +287,16 @@ impl System {
         self.mem_injector.note_commit(&self.mem_port, cycle);
         // Publish system-level gauges just before the Ethernet TMU's
         // sampler runs, so each sample carries fresh SoC-wide levels.
-        if self.tmu.telemetry().should_sample(cycle) {
+        if self.tmu().telemetry().should_sample(cycle) {
             let cpu_done = self.cpu.stats().total_completed();
             let dma_done = self.dma.stats().total_completed();
             let decode_errors = self.demux.decode_errors();
-            let metrics = self.tmu.telemetry_mut().metrics_mut();
+            let metrics = self
+                .fabric
+                .tmu_mut(ETH_IDX)
+                .expect("the ethernet port is always monitored")
+                .telemetry_mut()
+                .metrics_mut();
             metrics.gauge_set("system.cpu.txns_completed", cpu_done);
             metrics.gauge_set("system.dma.txns_completed", dma_done);
             metrics.gauge_set("system.decode_errors", decode_errors);
@@ -314,39 +305,29 @@ impl System {
                 probe.publish_metrics(metrics);
             }
         }
-        self.tmu.commit(cycle);
-        if let Some(mem_tmu) = &mut self.mem_tmu {
-            mem_tmu.commit(cycle);
-        }
-
-        // Recovery plumbing.
-        if self.tmu.take_reset_request() {
-            self.reset.request();
-            // Note: no demux route flush is needed — the TMU drains the
-            // remaining W beats of aborted bursts through the normal
-            // path, so every route entry retires on its own WLAST.
-        }
-        self.reset.tick();
-        if self.reset.is_done_pulse() {
-            self.eth.reset();
-            self.injector.disarm();
-            self.tmu.reset_done();
-        }
-        if let Some(mem_tmu) = &mut self.mem_tmu {
-            if mem_tmu.take_reset_request() {
-                self.mem_reset.request();
-            }
-            self.mem_reset.tick();
-            if self.mem_reset.is_done_pulse() {
-                self.mem.reset();
-                self.mem_injector.disarm();
-                mem_tmu.reset_done();
+        // Fabric commit and per-port recovery plumbing: each slot's TMU
+        // and reset line advance independently; the fabric reports which
+        // subordinates completed their reset this cycle.
+        // Note: no demux route flush is needed on a fault — the TMU
+        // drains the remaining W beats of aborted bursts through the
+        // normal path, so every route entry retires on its own WLAST.
+        for port in self.fabric.commit(cycle) {
+            match port {
+                ETH_IDX => {
+                    self.eth.reset();
+                    self.injector.disarm();
+                }
+                MEM_IDX => {
+                    self.mem.reset();
+                    self.mem_injector.disarm();
+                }
+                _ => unreachable!("the system fabric spans two ports"),
             }
         }
 
         // Interrupt-line edge bookkeeping (the lines are ORed towards
         // the CPU, like a shared interrupt controller input).
-        let level = self.tmu.irq_pending() || self.mem_tmu.as_ref().is_some_and(Tmu::irq_pending);
+        let level = self.fabric.irq_pending();
         if level && !self.irq_level_last {
             self.irq.assertions += 1;
             if self.irq.first_asserted_at.is_none() {
@@ -383,27 +364,43 @@ impl System {
         self.cycle
     }
 
+    /// The sharded monitoring fabric (one TMU slot per demux port).
+    #[must_use]
+    pub fn fabric(&self) -> &MonitorFabric {
+        &self.fabric
+    }
+
+    /// Mutable fabric access (merged deadline queries, per-slot register
+    /// writes).
+    pub fn fabric_mut(&mut self) -> &mut MonitorFabric {
+        &mut self.fabric
+    }
+
     /// The TMU guarding the Ethernet link.
     #[must_use]
     pub fn tmu(&self) -> &Tmu {
-        &self.tmu
+        self.fabric
+            .tmu(ETH_IDX)
+            .expect("the ethernet port is always monitored")
     }
 
     /// Software access to the TMU (register writes, IRQ clearing).
     pub fn tmu_mut(&mut self) -> &mut Tmu {
-        &mut self.tmu
+        self.fabric
+            .tmu_mut(ETH_IDX)
+            .expect("the ethernet port is always monitored")
     }
 
     /// The optional memory-link TMU.
     #[must_use]
     pub fn mem_tmu(&self) -> Option<&Tmu> {
-        self.mem_tmu.as_ref()
+        self.fabric.tmu(MEM_IDX)
     }
 
     /// Hardware resets the memory controller has received.
     #[must_use]
     pub fn mem_resets(&self) -> u64 {
-        self.mem_reset.requests()
+        self.fabric.reset_requests(MEM_IDX)
     }
 
     /// The Ethernet peripheral.

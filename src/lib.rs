@@ -26,3 +26,20 @@ pub use gf12_area;
 pub use sim;
 pub use soc;
 pub use tmu;
+
+/// Test-support utilities shared by the integration and property suites.
+pub mod testkit {
+    use tmu::Tmu;
+
+    /// Asserts the TMU's internal guard invariants (OTT / remapper /
+    /// deadline-wheel agreement). Debug builds only — release builds
+    /// skip the walk so timing-sensitive suites stay fast.
+    ///
+    /// Property suites call this from their `run_until` predicates, so
+    /// every committed cycle of every generated case is checked.
+    pub fn check_tmu(tmu: &Tmu) {
+        if cfg!(debug_assertions) {
+            tmu.assert_consistent();
+        }
+    }
+}

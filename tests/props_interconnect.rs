@@ -66,7 +66,10 @@ proptest! {
             ..SystemConfig::default()
         };
         let mut system = System::new(cfg);
-        let done = system.run_until(300_000, System::traffic_done);
+        let done = system.run_until(300_000, |s| {
+            axi_tmu::testkit::check_tmu(s.tmu());
+            s.traffic_done()
+        });
         prop_assert!(done, "traffic must complete");
 
         let cpu = system.cpu_stats();
@@ -107,7 +110,10 @@ proptest! {
             ..SystemConfig::default()
         };
         let mut system = System::new(cfg);
-        let done = system.run_until(100_000, System::traffic_done);
+        let done = system.run_until(100_000, |s| {
+            axi_tmu::testkit::check_tmu(s.tmu());
+            s.traffic_done()
+        });
         prop_assert!(done, "DECERR traffic must terminate");
         let cpu = system.cpu_stats();
         prop_assert_eq!(cpu.writes_errored + cpu.reads_errored, bad_txns);

@@ -72,7 +72,10 @@ proptest! {
             max_inflight: 8,
         });
         let mut link = GuardedLink::new(pattern(&[1, 4, 8, 16], outstanding, gap, 30), cfg, mem, seed);
-        let done = link.run_until(200_000, |l| l.mgr.is_done());
+        let done = link.run_until(200_000, |l| {
+            axi_tmu::testkit::check_tmu(&l.tmu);
+            l.mgr.is_done()
+        });
         prop_assert!(done, "traffic must complete");
         prop_assert_eq!(
             link.tmu.faults_detected(),
@@ -111,7 +114,10 @@ proptest! {
             ..MemConfig::default()
         });
         let mut link = GuardedLink::new(pattern(&[4], 1, 4, 10), cfg, mem, seed);
-        let detected = link.run_until(100_000, |l| l.tmu.faults_detected() > 0);
+        let detected = link.run_until(100_000, |l| {
+            axi_tmu::testkit::check_tmu(&l.tmu);
+            l.tmu.faults_detected() > 0
+        });
         prop_assert!(detected, "over-budget subordinate must be caught");
     }
 }

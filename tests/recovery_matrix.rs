@@ -51,7 +51,10 @@ fn check(variant: TmuVariant, class: FaultClass) {
 
     // (a) detection
     assert!(
-        link.run_until(100_000, |l| l.tmu.faults_detected() > 0),
+        link.run_until(100_000, |l| {
+            axi_tmu::testkit::check_tmu(&l.tmu);
+            l.tmu.faults_detected() > 0
+        }),
         "{variant:?} / {class}: not detected"
     );
     // (b) reaction
@@ -64,6 +67,7 @@ fn check(variant: TmuVariant, class: FaultClass) {
     //     and fresh transactions complete with no further faults.
     assert!(
         link.run_until(100_000, |l| {
+            axi_tmu::testkit::check_tmu(&l.tmu);
             l.mgr.stats().total_completed() >= completed_at_fault + 5
         }),
         "{variant:?} / {class}: traffic did not resume"
@@ -129,7 +133,10 @@ fn localization_granularity_matches_variant() {
             .expect("valid");
         let mut link = GuardedLink::new(pattern(class), cfg, MemSub::default(), 5);
         link.inject(FaultPlan::new(class, trigger(class)));
-        assert!(link.run_until(100_000, |l| l.tmu.faults_detected() > 0));
+        assert!(link.run_until(100_000, |l| {
+            axi_tmu::testkit::check_tmu(&l.tmu);
+            l.tmu.faults_detected() > 0
+        }));
         let fault = link.tmu.last_fault().expect("fault logged");
         match variant {
             TmuVariant::FullCounter => {
@@ -158,7 +165,10 @@ fn fc_beats_tc_on_early_faults() {
             FaultClass::AwReadyDrop,
             Trigger::AtCycle(120),
         ));
-        assert!(link.run_until(100_000, |l| l.tmu.faults_detected() > 0));
+        assert!(link.run_until(100_000, |l| {
+            axi_tmu::testkit::check_tmu(&l.tmu);
+            l.tmu.faults_detected() > 0
+        }));
         latencies.push(link.detection_latency().expect("measurable"));
     }
     assert!(

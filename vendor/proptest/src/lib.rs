@@ -319,7 +319,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Element-count range for [`vec`].
+    /// Element-count range for [`vec()`](vec()).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
