@@ -110,6 +110,11 @@ impl CellLibrary {
 
 /// The TMU configuration corresponding to one anchor (no prescaler, as
 /// the anchors quote the un-prescaled variants).
+///
+/// # Panics
+///
+/// Panics if the anchor parameters violate the configuration
+/// builder's validity checks; the baked-in anchors never do.
 #[must_use]
 pub fn anchor_config(anchor: &Anchor) -> TmuConfig {
     TmuConfig::builder()

@@ -94,6 +94,11 @@ pub struct PrescalerPoint {
 /// sticky bit is enabled whenever `step > 1`, matching the paper's
 /// `+Pre` configurations. `budget` is the stall budget whose expiry
 /// latency is reported.
+///
+/// # Panics
+///
+/// Panics if any entry of `steps` is zero (the prescale step must
+/// be nonzero).
 #[must_use]
 pub fn prescaler_sweep(base: &TmuConfig, steps: &[u64], budget: u64) -> Vec<PrescalerPoint> {
     steps

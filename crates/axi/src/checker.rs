@@ -446,7 +446,10 @@ impl ProtocolChecker {
         self.w_inflight.push_back(WriteCtx { aw, beats_done: 0 });
         // Attach any buffered early data beats.
         while !self.early_w.is_empty() && !self.w_inflight.is_empty() {
-            let w = self.early_w.pop_front().expect("nonempty");
+            let w = self
+                .early_w
+                .pop_front()
+                .expect("loop condition checked early_w is nonempty");
             self.consume_w_beat(w, cycle, out);
         }
     }
@@ -817,7 +820,7 @@ mod tests {
     fn r_without_txn_flagged() {
         let mut chk = ProtocolChecker::new();
         let v = cycle(&mut chk, 0, |p| {
-            fire_r(p, RBeat::new(AxiId(5), 0, Resp::Okay, true))
+            fire_r(p, RBeat::new(AxiId(5), 0, Resp::Okay, true));
         });
         assert_eq!(v[0].rule, Rule::RWithoutTxn);
     }
@@ -827,14 +830,14 @@ mod tests {
         let mut chk = ProtocolChecker::new();
         cycle(&mut chk, 0, |p| fire_ar(p, ar(1, 3)));
         let v = cycle(&mut chk, 1, |p| {
-            fire_r(p, RBeat::new(AxiId(1), 0, Resp::Okay, true))
+            fire_r(p, RBeat::new(AxiId(1), 0, Resp::Okay, true));
         });
         assert_eq!(v[0].rule, Rule::RlastEarly);
 
         let mut chk = ProtocolChecker::new();
         cycle(&mut chk, 0, |p| fire_ar(p, ar(1, 1)));
         let v = cycle(&mut chk, 1, |p| {
-            fire_r(p, RBeat::new(AxiId(1), 0, Resp::Okay, false))
+            fire_r(p, RBeat::new(AxiId(1), 0, Resp::Okay, false));
         });
         assert_eq!(v[0].rule, Rule::RlastMissing);
     }
@@ -919,7 +922,7 @@ mod tests {
         let mut chk = ProtocolChecker::new();
         cycle(&mut chk, 0, |p| fire_aw(p, aw(1, 1)));
         let v = cycle(&mut chk, 1, |p| {
-            fire_w(p, WBeat::with_strobes(0, 0x00, true))
+            fire_w(p, WBeat::with_strobes(0, 0x00, true));
         });
         assert!(v.iter().any(|v| v.rule == Rule::WStrbAllZero));
     }

@@ -181,8 +181,9 @@ impl TxnBuilder {
     /// Panics if `bytes` is not a legal AXI4 size.
     #[must_use]
     pub fn size_bytes(mut self, bytes: u32) -> Self {
-        self.size = BurstSize::from_bytes(bytes)
-            .unwrap_or_else(|| panic!("{bytes} is not a legal AXI4 beat size"));
+        let size = BurstSize::from_bytes(bytes);
+        assert!(size.is_some(), "{bytes} is not a legal AXI4 beat size");
+        self.size = size.expect("asserted legal beat size just above");
         self
     }
 

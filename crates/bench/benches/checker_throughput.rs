@@ -16,8 +16,8 @@ fn bench(c: &mut Criterion) {
                 port.aw.drive(AwBeat::new(
                     AxiId(1),
                     Addr(0x100),
-                    BurstLen::from_beats(8).unwrap(),
-                    BurstSize::from_bytes(8).unwrap(),
+                    BurstLen::from_beats(8).expect("8 beats is a legal AXI4 burst length"),
+                    BurstSize::from_bytes(8).expect("8 bytes is a legal AXI4 beat size"),
                     BurstKind::Incr,
                 ));
                 port.aw.set_ready(true);

@@ -113,7 +113,8 @@ fn main() {
 
     // Telemetry overhead on the wheel engine: a disabled hub must cost
     // one branch per record call, so the telemetry-disabled run must sit
-    // within noise of the plain wheel run (acceptance: ratio <= 1.05).
+    // within noise of the plain wheel run (target ratio ~1.0; on a
+    // constrained 1-CPU host individual runs scatter roughly +/-10%).
     let tel_variant = TmuVariant::FullCounter;
     let (tel_off_s, tel_off) =
         time_min(|| run_saturated_stall_with_telemetry(tel_variant, HOTPATH_BUDGET, false));

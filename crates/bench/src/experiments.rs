@@ -115,6 +115,11 @@ fn stall_budgets() -> BudgetConfig {
 /// Simulates the total-stall scenario: a subordinate that never responds
 /// ("the datapath never asserts a valid signal"). Returns the measured
 /// detection latency in cycles from transaction issue.
+///
+/// # Panics
+///
+/// Panics if the stalled transaction never times out within the
+/// simulation horizon — a monitor bug, not a caller error.
 #[must_use]
 pub fn simulate_stall_latency(variant: TmuVariant, step: u64, sticky: bool) -> u64 {
     let cfg = TmuConfig::builder()
@@ -138,6 +143,11 @@ pub fn simulate_stall_latency(variant: TmuVariant, step: u64, sticky: bool) -> u
 }
 
 /// Fig. 8: prescaler exploration for one variant at 128 outstanding.
+///
+/// # Panics
+///
+/// Panics if a sweep point fails to detect its injected stall — a
+/// monitor bug, not a caller error.
 #[must_use]
 pub fn fig8(variant: TmuVariant, steps: &[u64]) -> Vec<Fig8Point> {
     steps
@@ -204,6 +214,11 @@ fn fig9_trigger(class: FaultClass) -> Trigger {
 
 /// Runs one IP-level fault injection (paper Fig. 9) and reports the
 /// detection outcome.
+///
+/// # Panics
+///
+/// Panics if the scenario reports a fault without logging a fault
+/// record — a monitor bug, not a caller error.
 #[must_use]
 pub fn fig9_single(variant: TmuVariant, class: FaultClass) -> Fig9Row {
     let cfg = TmuConfig::builder()
@@ -304,6 +319,11 @@ pub struct Fig11Row {
 /// 64-bit bus towards the Ethernet IP, with a fault at `position`.
 /// Tiny-Counter uses the paper's single 320-cycle budget; Full-Counter
 /// the paper's per-phase budgets (10 for AW, 250 for W, …).
+///
+/// # Panics
+///
+/// Panics if the scenario reports a fault without logging a fault
+/// record — a monitor bug, not a caller error.
 #[must_use]
 pub fn fig11_single(variant: TmuVariant, position: FaultPosition) -> Fig11Row {
     let budgets = match variant {
@@ -375,6 +395,11 @@ pub struct BudgetAblation {
 /// motivation). Healthy traffic with large, chained bursts: fixed
 /// budgets sized for short bursts cause false timeouts; the adaptive
 /// mechanism does not.
+///
+/// # Panics
+///
+/// Panics if the adaptive-budget run drops a transaction — a
+/// monitor bug, not a caller error.
 #[must_use]
 pub fn ablation_budgets() -> BudgetAblation {
     let bursty = TrafficPattern {
@@ -466,6 +491,11 @@ pub struct RemapAblation {
 /// correctly through 4 dense slots (with back-pressure stalls instead of
 /// faults), and the area of a direct-mapped alternative is dramatically
 /// larger.
+///
+/// # Panics
+///
+/// Panics if sparse-ID traffic fails to complete through the dense
+/// remapper — a monitor bug, not a caller error.
 #[must_use]
 pub fn ablation_remapper() -> RemapAblation {
     let sparse = TrafficPattern {

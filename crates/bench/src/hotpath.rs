@@ -67,6 +67,11 @@ fn hotpath_budgets(budget: u64) -> BudgetConfig {
 
 /// The benchmark TMU configuration: 128 outstanding, prescaler 32 with
 /// the sticky bit, every phase budgeted `budget` cycles.
+///
+/// # Panics
+///
+/// Panics if `budget` is zero (the builder rejects empty phase
+/// budgets).
 #[must_use]
 pub fn hotpath_cfg(variant: TmuVariant, engine: CounterEngine, budget: u64) -> TmuConfig {
     TmuConfig::builder()
@@ -122,6 +127,11 @@ fn stall_result(link: &GuardedLink<BlackHoleSub>, steps_executed: u64) -> StallR
 
 /// Runs the saturated total-stall scenario cycle by cycle until the
 /// first timeout fires.
+///
+/// # Panics
+///
+/// Panics if the saturated stall fails to time out within the
+/// cycle limit — a monitor bug, not a caller error.
 #[must_use]
 pub fn run_saturated_stall(variant: TmuVariant, engine: CounterEngine, budget: u64) -> StallRun {
     let mut link = stall_link(variant, engine, budget);
@@ -136,6 +146,11 @@ pub fn run_saturated_stall(variant: TmuVariant, engine: CounterEngine, budget: u
 /// acceptance bound: a disabled hub must cost one branch per record
 /// call, so this run must not be measurably slower than the plain wheel
 /// run.
+///
+/// # Panics
+///
+/// Panics if the saturated stall fails to time out within the
+/// cycle limit — a monitor bug, not a caller error.
 #[must_use]
 pub fn run_saturated_stall_with_telemetry(
     variant: TmuVariant,
@@ -156,6 +171,11 @@ pub fn run_saturated_stall_with_telemetry(
 /// write's data has been delivered, nothing can change until the
 /// earliest armed deadline (`Tmu::next_deadline`), so the idle stretch
 /// is skipped in O(1) instead of being stepped through.
+///
+/// # Panics
+///
+/// Panics if the saturated stall fails to time out within the
+/// cycle limit — a monitor bug, not a caller error.
 #[must_use]
 pub fn run_saturated_stall_fastforward(variant: TmuVariant, budget: u64) -> StallRun {
     let mut link = stall_link(variant, CounterEngine::DeadlineWheel, budget);

@@ -36,6 +36,11 @@ pub fn default_threads() -> usize {
 /// per-item cost does not unbalance the workers. With `threads <= 1` (or
 /// fewer than two items) this degrades to a plain serial map with no
 /// thread overhead.
+///
+/// # Panics
+///
+/// Panics if `f` panics on a worker thread (the panic is
+/// propagated to the caller).
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,

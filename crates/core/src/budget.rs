@@ -138,7 +138,9 @@ impl WriteBudgets {
             WritePhase::BurstTransfer => self.burst_transfer,
             WritePhase::RespWait => self.resp_wait,
             WritePhase::RespReady => self.resp_ready,
-            WritePhase::Done => panic!("Done has no budget"),
+            WritePhase::Done => {
+                unreachable!("Done phase has no budget: guards check phase_is_done first")
+            }
         }
     }
 
@@ -181,7 +183,9 @@ impl ReadBudgets {
             ReadPhase::DataWait => self.data_wait,
             ReadPhase::BurstTransfer => self.burst_transfer,
             ReadPhase::LastReady => self.last_ready,
-            ReadPhase::Done => panic!("Done has no budget"),
+            ReadPhase::Done => {
+                unreachable!("Done phase has no budget: guards check phase_is_done first")
+            }
         }
     }
 
@@ -242,6 +246,11 @@ impl BudgetConfig {
     /// this configuration for bursts of up to `max_beats` beats and an
     /// OTT of `max_outstanding` entries all holding `max_beats` bursts —
     /// the quantity that sizes the Full-Counter's counter width.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the budget table is empty, which it never is by construction — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     #[must_use]
     pub fn max_phase_budget(&self, max_beats: u16, max_outstanding: usize) -> u64 {
         let load = QueueLoad {
@@ -262,7 +271,7 @@ impl BudgetConfig {
         ]
         .into_iter()
         .max()
-        .expect("nonempty")
+        .expect("budget array literal is nonempty")
     }
 
     /// The largest transaction-level budget (sizes the Tiny-Counter's

@@ -47,13 +47,13 @@ pub struct PrescaledCounter {
     /// Prescale step (1 = count every cycle).
     step: u64,
     /// Cycles since the last prescale tick.
-    phase: u64,
+    q_phase: u64,
     /// Prescaled count (the narrow hardware register).
-    count: u64,
+    q_count: u64,
     /// Budget, in prescaled ticks.
-    ticks_budget: u64,
+    q_ticks_budget: u64,
     /// Sticky near-timeout latch.
-    sticky: bool,
+    q_sticky: bool,
     /// Whether the sticky mechanism is instantiated.
     sticky_enabled: bool,
 }
@@ -70,10 +70,10 @@ impl PrescaledCounter {
         assert!(step > 0, "prescale step must be nonzero");
         PrescaledCounter {
             step,
-            phase: 0,
-            count: 0,
-            ticks_budget: budget_cycles.div_ceil(step),
-            sticky: false,
+            q_phase: 0,
+            q_count: 0,
+            q_ticks_budget: budget_cycles.div_ceil(step),
+            q_sticky: false,
             sticky_enabled,
         }
     }
@@ -81,12 +81,12 @@ impl PrescaledCounter {
     /// Advances one cycle. Saturates rather than wrapping, like the
     /// hardware counter.
     pub fn tick(&mut self) {
-        self.phase += 1;
-        if self.phase >= self.step {
-            self.phase = 0;
-            self.count = self.count.saturating_add(1);
-            if self.count >= self.ticks_budget {
-                self.sticky = true;
+        self.q_phase += 1;
+        if self.q_phase >= self.step {
+            self.q_phase = 0;
+            self.q_count = self.q_count.saturating_add(1);
+            if self.q_count >= self.q_ticks_budget {
+                self.q_sticky = true;
             }
         }
     }
@@ -103,12 +103,12 @@ impl PrescaledCounter {
     /// the (monotone) count at or beyond the budget, i.e. iff the final
     /// count is and at least one tick occurred.
     pub fn advance(&mut self, n: u64) {
-        let total = self.phase + n;
+        let total = self.q_phase.saturating_add(n);
         let ticks = total / self.step;
-        self.count = self.count.saturating_add(ticks);
-        self.phase = total % self.step;
-        if ticks > 0 && self.count >= self.ticks_budget {
-            self.sticky = true;
+        self.q_count = self.q_count.saturating_add(ticks);
+        self.q_phase = total % self.step;
+        if ticks > 0 && self.q_count >= self.q_ticks_budget {
+            self.q_sticky = true;
         }
     }
 
@@ -118,9 +118,9 @@ impl PrescaledCounter {
     /// counter-update delay needs an extra confirmation tick).
     fn expiry_count(&self) -> u64 {
         if self.sticky_enabled {
-            self.ticks_budget.saturating_add(1)
+            self.q_ticks_budget.saturating_add(1)
         } else {
-            self.ticks_budget.saturating_add(2)
+            self.q_ticks_budget.saturating_add(2)
         }
     }
 
@@ -135,9 +135,9 @@ impl PrescaledCounter {
         }
         // Not expired, so count < expiry_count (the count passes through
         // the budget on its way up, latching sticky at that tick).
-        (self.expiry_count() - self.count)
+        (self.expiry_count() - self.q_count)
             .saturating_mul(self.step)
-            .saturating_sub(self.phase)
+            .saturating_sub(self.q_phase)
     }
 
     /// True once the budget deadline is considered exceeded (see the
@@ -145,9 +145,9 @@ impl PrescaledCounter {
     #[must_use]
     pub fn expired(&self) -> bool {
         if self.sticky_enabled {
-            self.sticky && self.count > self.ticks_budget
+            self.q_sticky && self.q_count > self.q_ticks_budget
         } else {
-            self.count > self.ticks_budget.saturating_add(1)
+            self.q_count > self.q_ticks_budget.saturating_add(1)
         }
     }
 
@@ -155,22 +155,22 @@ impl PrescaledCounter {
     /// the sticky bit, latched).
     #[must_use]
     pub fn near_timeout(&self) -> bool {
-        self.sticky || self.count >= self.ticks_budget
+        self.q_sticky || self.q_count >= self.q_ticks_budget
     }
 
     /// Restarts the count for a new phase, keeping step/budget/sticky
     /// configuration. The sticky latch is cleared — it guards one phase.
     pub fn restart(&mut self) {
-        self.phase = 0;
-        self.count = 0;
-        self.sticky = false;
+        self.q_phase = 0;
+        self.q_count = 0;
+        self.q_sticky = false;
     }
 
     /// Replaces the budget (in cycles), e.g. at a Full-Counter phase
     /// transition where the next phase has its own adaptive budget, and
     /// restarts the count.
     pub fn rebudget(&mut self, budget_cycles: u64) {
-        self.ticks_budget = budget_cycles.div_ceil(self.step);
+        self.q_ticks_budget = budget_cycles.div_ceil(self.step);
         self.restart();
     }
 
@@ -178,13 +178,13 @@ impl PrescaledCounter {
     /// step. The true elapsed time may be up to `step − 1` cycles more.
     #[must_use]
     pub fn elapsed_cycles(&self) -> u64 {
-        self.count * self.step
+        self.q_count.saturating_mul(self.step)
     }
 
     /// The prescaled count register value.
     #[must_use]
     pub fn raw_count(&self) -> u64 {
-        self.count
+        self.q_count
     }
 
     /// The prescale step.
@@ -204,9 +204,9 @@ impl PrescaledCounter {
     pub fn detection_latency(budget_cycles: u64, step: u64, sticky_enabled: bool) -> u64 {
         let ticks = budget_cycles.div_ceil(step);
         if sticky_enabled {
-            step * (ticks + 1)
+            step.saturating_mul(ticks.saturating_add(1))
         } else {
-            step * (ticks + 2)
+            step.saturating_mul(ticks.saturating_add(2))
         }
     }
 
@@ -215,7 +215,7 @@ impl PrescaledCounter {
     /// `⌈budget/step⌉ + 2`.
     #[must_use]
     pub fn required_width_bits(budget_cycles: u64, step: u64) -> u32 {
-        let max_count = budget_cycles.div_ceil(step) + 2;
+        let max_count = budget_cycles.div_ceil(step).saturating_add(2);
         64 - max_count.leading_zeros()
     }
 }
@@ -225,10 +225,10 @@ impl fmt::Display for PrescaledCounter {
         write!(
             f,
             "{}/{} ticks (step {}){}",
-            self.count,
-            self.ticks_budget,
+            self.q_count,
+            self.q_ticks_budget,
             self.step,
-            if self.sticky { " STICKY" } else { "" }
+            if self.q_sticky { " STICKY" } else { "" }
         )
     }
 }

@@ -129,9 +129,9 @@ pub trait Direction: Sized + std::fmt::Debug + Clone + 'static {
 pub struct TxnTracker<D: Direction> {
     /// The address beat that opened the transaction.
     pub req: D::Req,
-    /// Current phase.
+    /// Committed state: current phase register.
     pub phase: D::Phase,
-    /// Data beats transferred so far.
+    /// Committed state: data beats transferred so far.
     pub beats_done: u16,
     /// Timeout counter (whole-transaction for Tc, current-phase for Fc).
     pub counter: PrescaledCounter,
@@ -139,11 +139,12 @@ pub struct TxnTracker<D: Direction> {
     pub budgets: D::Budgets,
     /// Cycle the transaction entered the OTT.
     pub enqueued_at: u64,
-    /// Cycle the current phase started.
+    /// Committed state: cycle the current phase started.
     pub phase_started_at: u64,
-    /// Recorded per-phase latencies (the read direction uses 4 slots).
+    /// Committed state: recorded per-phase latencies (the read
+    /// direction uses 4 slots).
     pub phase_cycles: [u64; 6],
-    /// Latched once this transaction has timed out.
+    /// Committed state: latched once this transaction has timed out.
     pub timed_out: bool,
 }
 
@@ -369,7 +370,10 @@ impl<D: Direction> GuardCore<D> {
         perf: &mut PerfLog,
         telemetry: &mut TelemetryHub,
     ) {
-        let (idx, entry) = self.ott.dequeue_head(uid).expect("head exists");
+        let (idx, entry) = self
+            .ott
+            .dequeue_head(uid)
+            .expect("caller verified the FIFO head exists before retiring");
         self.remap.release(uid);
         self.wheel.disarm(idx);
         let mut t = entry.tracker;
@@ -414,6 +418,11 @@ impl<D: Direction> GuardCore<D> {
     /// every completed transaction (Full-Counter granularity when the
     /// variant is Fc); `telemetry` receives the structured event stream
     /// (a disabled hub costs one branch per event).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the stall decision, OTT, and remapper disagree — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn commit(
         &mut self,
         cycle: u64,

@@ -104,6 +104,7 @@ pub struct Tmu {
     pending_violations: Vec<axi4::checker::Violation>,
     faults_detected: u64,
     resets_requested: u64,
+    /// Committed state: cycles this monitor has committed.
     cycles: u64,
     trace: EventTrace,
     telemetry: TelemetryHub,

@@ -1,12 +1,16 @@
 //! Telemetry publication: occupancy gauges into the metrics hub,
 //! Chrome-trace/metrics export, and point-in-time snapshots.
 
-use tmu_telemetry::{MetricsHub, TelemetryConfig, TelemetryHub};
+use tmu_telemetry::{MetricsHub, TelemetryConfig, TelemetryHub, TraceEvent};
 
 use super::Tmu;
 
 impl Tmu {
-    /// Publishes the TMU's occupancy gauges into the metrics hub.
+    /// Publishes the TMU's occupancy gauges. With telemetry enabled the
+    /// levels travel as [`TraceEvent::Gauge`] events — visible in the
+    /// ring and routed into the metrics hub by the dispatcher; with it
+    /// disabled they are set directly so snapshots and reports stay
+    /// live either way.
     pub(super) fn publish_gauges(&mut self) {
         let write_out = self.write_guard.outstanding() as u64;
         let read_out = self.read_guard.outstanding() as u64;
@@ -14,14 +18,27 @@ impl Tmu {
         let read_depth = self.read_guard.wheel_depth() as u64;
         let faults = self.faults_detected;
         let drain = self.w_drain_beats;
-        let metrics = self.telemetry.metrics_mut();
-        metrics.gauge_set("tmu.write.ott_occupancy", write_out);
-        metrics.gauge_set("tmu.read.ott_occupancy", read_out);
-        metrics.gauge_set("tmu.outstanding", write_out + read_out);
-        metrics.gauge_set("tmu.write.wheel_depth", write_depth);
-        metrics.gauge_set("tmu.read.wheel_depth", read_depth);
-        metrics.gauge_set("tmu.faults_detected", faults);
-        metrics.gauge_set("tmu.drain_beats_pending", drain);
+        let gauges: [(&'static str, u64); 7] = [
+            ("tmu.write.ott_occupancy", write_out),
+            ("tmu.read.ott_occupancy", read_out),
+            ("tmu.outstanding", write_out + read_out),
+            ("tmu.write.wheel_depth", write_depth),
+            ("tmu.read.wheel_depth", read_depth),
+            ("tmu.faults_detected", faults),
+            ("tmu.drain_beats_pending", drain),
+        ];
+        if self.telemetry.enabled() {
+            let cycle = self.cycles;
+            for (name, value) in gauges {
+                self.telemetry
+                    .record(cycle, "tmu", TraceEvent::Gauge { name, value });
+            }
+        } else {
+            let metrics = self.telemetry.metrics_mut();
+            for (name, value) in gauges {
+                metrics.gauge_set(name, value);
+            }
+        }
     }
 
     /// Switches the unified telemetry layer on: typed events into the

@@ -15,7 +15,8 @@ impl Tmu {
                 None => 0,
                 Some(rec) => {
                     let kind = u32::from(rec.kind.reg_code()) << 24;
-                    let phase = u32::from(rec.phase.map_or(0, |p| p.reg_code())) << 16;
+                    let phase =
+                        u32::from(rec.phase.map_or(0, crate::phase::TxnPhase::reg_code)) << 16;
                     let id = u32::from(rec.id.map_or(0, |i| i.0));
                     kind | phase | id
                 }

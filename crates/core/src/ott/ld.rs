@@ -125,7 +125,9 @@ impl<S> LdTable<S> {
             },
         );
         let Row::Used(entry) = row else {
-            panic!("double free of LD row {idx}");
+            unreachable!(
+                "double free of LD row {idx}: head-tail and linked-data tables out of sync"
+            );
         };
         self.free_head = Some(idx);
         self.used -= 1;

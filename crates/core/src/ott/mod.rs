@@ -94,6 +94,11 @@ impl<S> Ott<S> {
 
     /// Enqueues a transaction of `uid`, appending to that ID's FIFO and
     /// the EI order. Returns the LD row index, or `None` when saturated.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the HT, LD, and EI tables fall out of sync — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn enqueue(&mut self, uid: UniqId, tracker: S) -> Option<LdIndex> {
         if self.ei.len() >= self.ei.capacity() {
             return None;
@@ -138,6 +143,11 @@ impl<S> Ott<S> {
 
     /// Dequeues the head transaction of `uid`, returning its LD index
     /// and entry. Also removes it from the EI order if still present.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the HT, LD, and EI tables fall out of sync — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn dequeue_head(&mut self, uid: UniqId) -> Option<(LdIndex, LdEntry<S>)> {
         let head = self.ht.head(uid)?;
         let next = self.ld.get(head).expect("head row exists").next;

@@ -53,7 +53,9 @@ impl WritePhase {
             WritePhase::BurstTransfer => 3,
             WritePhase::RespWait => 4,
             WritePhase::RespReady => 5,
-            WritePhase::Done => panic!("Done is not a monitored phase"),
+            WritePhase::Done => unreachable!(
+                "Done is not a monitored phase: guards check phase_is_done before indexing"
+            ),
         }
     }
 
@@ -125,7 +127,9 @@ impl ReadPhase {
             ReadPhase::DataWait => 1,
             ReadPhase::BurstTransfer => 2,
             ReadPhase::LastReady => 3,
-            ReadPhase::Done => panic!("Done is not a monitored phase"),
+            ReadPhase::Done => unreachable!(
+                "Done is not a monitored phase: guards check phase_is_done before indexing"
+            ),
         }
     }
 

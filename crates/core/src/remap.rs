@@ -115,6 +115,11 @@ impl IdRemapper {
     /// # Errors
     ///
     /// Returns the [`RemapStall`] reason an acquire would fail with.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the slot table is internally inconsistent — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn probe(&self, id: AxiId) -> Result<(), RemapStall> {
         match self.lookup(id) {
             Some(uid) => {
@@ -143,10 +148,18 @@ impl IdRemapper {
     /// Returns a [`RemapStall`] when no slot can be granted; the caller
     /// must stall the transaction (the TMU withholds `aw_ready` /
     /// `ar_ready`).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the slot table is internally inconsistent — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn acquire(&mut self, id: AxiId) -> Result<UniqId, RemapStall> {
         self.probe(id)?;
         if let Some(uid) = self.lookup(id) {
-            self.slots[uid].as_mut().expect("occupied").refs += 1;
+            self.slots[uid]
+                .as_mut()
+                .expect("lookup returned this uid so the slot is occupied")
+                .refs += 1;
             return Ok(uid);
         }
         let uid = self

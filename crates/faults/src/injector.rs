@@ -110,6 +110,11 @@ impl Injector {
 
     /// Applies manager-side faults to the manager port (before the TMU's
     /// request forwarding).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the injector reports triggered without an armed plan — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn corrupt_manager_side(&mut self, mgr: &mut AxiPort, cycle: u64) {
         if !self.is_triggered(cycle) {
             return;
@@ -128,6 +133,11 @@ impl Injector {
 
     /// Applies subordinate-side faults to the subordinate port (after the
     /// subordinate drives, before the TMU's response forwarding).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the injector reports triggered without an armed plan — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn corrupt_subordinate_side(&mut self, sub: &mut AxiPort, cycle: u64) {
         if !self.is_triggered(cycle) {
             return;

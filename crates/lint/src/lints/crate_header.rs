@@ -1,0 +1,45 @@
+//! L3 — crate-header policy.
+//!
+//! Every workspace crate root must carry the workspace's safety and
+//! documentation floor as inner attributes: `#![forbid(unsafe_code)]`
+//! and `#![warn(missing_docs)]` (configurable via `[crate_header]
+//! require` in `lint.toml`). Vendored stand-ins opt out through a
+//! justified `[[allow]]` path suppression rather than a weaker rule.
+
+use std::path::Path;
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Lint};
+use crate::workspace::Workspace;
+
+/// Runs the lint over the workspace.
+#[must_use]
+pub fn check(ws: &Workspace, cfg: &Config, root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for krate in &ws.crates {
+        let Some(root_file) = &krate.root_file else {
+            continue;
+        };
+        let Some(src) = krate.sources.iter().find(|s| &s.path == root_file) else {
+            continue;
+        };
+        let present: Vec<String> = src.inner_attrs.iter().map(|a| a.replace(' ', "")).collect();
+        for required in &cfg.header_require {
+            let want = required.replace(' ', "");
+            if !present.iter().any(|p| p == &want) {
+                diags.push(Diagnostic::new(
+                    Lint::CrateHeader,
+                    root,
+                    &src.path,
+                    1,
+                    format!(
+                        "crate root of `{}` is missing `#![{required}]` \
+                         (required of every workspace crate)",
+                        krate.name
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}

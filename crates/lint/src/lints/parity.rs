@@ -1,0 +1,79 @@
+//! L5 — direction parity.
+//!
+//! `WriteGuard` and `ReadGuard` are thin direction instantiations of
+//! the shared `GuardCore<D>` engine; any inherent method one of them
+//! grows that the other lacks is a side door around the generic engine
+//! and a place where the two directions can silently diverge. For each
+//! configured `[[parity.pair]]`, both types must expose *identical*
+//! inherent method sets (trait impls are checked by the compiler
+//! already and are exempt).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Lint};
+use crate::workspace::Workspace;
+
+/// Runs the lint over the workspace.
+#[must_use]
+pub fn check(ws: &Workspace, cfg: &Config, root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for pair in &cfg.parity {
+        let left = inherent_methods(ws, &pair.left);
+        let right = inherent_methods(ws, &pair.right);
+        for (name, (path, line)) in &left {
+            if !right.contains_key(name) {
+                diags.push(Diagnostic::new(
+                    Lint::DirectionParity,
+                    root,
+                    path,
+                    *line,
+                    format!(
+                        "`{}` has inherent method `{name}` with no `{}` counterpart — \
+                         route shared behaviour through the direction-generic engine \
+                         or mirror it",
+                        pair.left, pair.right
+                    ),
+                ));
+            }
+        }
+        for (name, (path, line)) in &right {
+            if !left.contains_key(name) {
+                diags.push(Diagnostic::new(
+                    Lint::DirectionParity,
+                    root,
+                    path,
+                    *line,
+                    format!(
+                        "`{}` has inherent method `{name}` with no `{}` counterpart — \
+                         route shared behaviour through the direction-generic engine \
+                         or mirror it",
+                        pair.right, pair.left
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Inherent (non-trait-impl) methods of `ty` across the workspace, with
+/// the location of their first definition.
+fn inherent_methods(ws: &Workspace, ty: &str) -> BTreeMap<String, (std::path::PathBuf, u32)> {
+    let mut out = BTreeMap::new();
+    for krate in &ws.crates {
+        for src in &krate.sources {
+            for f in &src.fns {
+                if f.in_test || f.trait_name.is_some() {
+                    continue;
+                }
+                if f.impl_ty.as_deref() == Some(ty) {
+                    out.entry(f.name.clone())
+                        .or_insert_with(|| (src.path.clone(), f.line));
+                }
+            }
+        }
+    }
+    out
+}

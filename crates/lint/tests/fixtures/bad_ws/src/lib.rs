@@ -1,0 +1,7 @@
+//! Fixture crate root: intentionally missing the required inner
+//! attributes, with a panic-hygiene violation for good measure.
+
+/// Unwraps in non-test code.
+pub fn careless(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

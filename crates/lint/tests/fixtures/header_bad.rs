@@ -1,0 +1,6 @@
+//! Fixture: a crate root missing `#![forbid(unsafe_code)]` and
+//! `#![warn(missing_docs)]`.
+//! Exercised by `tests/fixtures_fire.rs`; never compiled.
+
+/// Something public so the file is not empty.
+pub fn nothing() {}

@@ -1,0 +1,39 @@
+//! Fixture: panic-hygiene violations.
+//! Exercised by `tests/fixtures_fire.rs`; never compiled.
+
+/// Calls every banned construct once.
+pub fn all_banned(v: Option<u32>, w: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = w.expect("short");
+    if a > b {
+        panic!("boom");
+    }
+    todo!()
+}
+
+/// `unreachable!` without an invariant message.
+pub fn no_msg(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+/// These are all fine and must NOT fire.
+pub fn all_fine(v: Option<u32>) -> u32 {
+    let a = v.expect("caller checked the option is populated");
+    match a {
+        0 => unreachable!("zero is rejected at construction time"),
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code is exempt from the lint.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixture: asymmetric direction-guard APIs.
+//! Exercised by `tests/fixtures_fire.rs`; never compiled.
+
+/// Write-side guard stand-in.
+pub struct WriteGuardFx;
+
+/// Read-side guard stand-in.
+pub struct ReadGuardFx;
+
+impl WriteGuardFx {
+    /// Mirrored on both sides — must NOT fire.
+    pub fn occupancy(&self) -> usize {
+        0
+    }
+
+    /// Only the write side has this — must fire.
+    pub fn drain_beats(&self) -> u64 {
+        0
+    }
+}
+
+impl ReadGuardFx {
+    /// Mirrored on both sides — must NOT fire.
+    pub fn occupancy(&self) -> usize {
+        0
+    }
+
+    /// Only the read side has this — must fire.
+    pub fn last_beat(&self) -> bool {
+        false
+    }
+}
+
+impl Default for WriteGuardFx {
+    /// Trait impls are exempt from parity checking.
+    fn default() -> Self {
+        WriteGuardFx
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: committed-state fields assigned outside commit methods.
+//! Exercised by `tests/fixtures_fire.rs`; never compiled.
+
+/// A fake register bank with both tagging conventions.
+pub struct FxRegs {
+    /// Committed state: doc-tagged register.
+    pub latched: u64,
+    /// Prefix-tagged register.
+    pub q_shadow: u64,
+}
+
+impl FxRegs {
+    /// Drive-pass code illegally writing registers.
+    pub fn drive(&mut self) {
+        self.latched = 1;
+        self.q_shadow += 2;
+    }
+
+    /// The commit edge may write both.
+    pub fn commit(&mut self) {
+        self.latched = 3;
+        self.q_shadow = 4;
+    }
+
+    /// Reading committed state anywhere is fine.
+    pub fn peek(&self) -> u64 {
+        self.latched + self.q_shadow
+    }
+}

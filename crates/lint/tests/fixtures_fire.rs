@@ -1,0 +1,184 @@
+//! Proves each lint fires on its known-bad fixture and stays quiet on
+//! the adjacent known-good code, then drives the CLI end to end: the
+//! real tree must lint clean and the `bad_ws` fixture workspace must
+//! fail with readable (and machine-readable) diagnostics.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use tmu_lint::workspace::Workspace;
+use tmu_lint::{run_lints, Config, Lint};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Loads fixture files as a single pseudo-crate named `name`.
+fn ws_of(name: &str, files: &[&str]) -> Workspace {
+    let dir = fixture("");
+    let paths: Vec<PathBuf> = files.iter().map(|f| fixture(f)).collect();
+    Workspace::from_files(name, &dir, &paths).expect("fixture files are readable")
+}
+
+fn lints_of(ws: &Workspace, cfg: &Config) -> Vec<(Lint, u32)> {
+    let root = fixture("");
+    run_lints(ws, cfg, &root)
+        .diags
+        .iter()
+        .map(|d| (d.lint, d.line))
+        .collect()
+}
+
+#[test]
+fn two_phase_fires_on_fixture() {
+    let ws = ws_of("fx", &["two_phase_bad.rs"]);
+    let found = lints_of(&ws, &Config::default());
+    let fired: Vec<_> = found.iter().filter(|(l, _)| *l == Lint::TwoPhase).collect();
+    assert_eq!(
+        fired.len(),
+        2,
+        "both the doc-tagged and prefix-tagged assignment in `drive` must fire: {found:?}"
+    );
+    // The assignments inside `commit` and the read in `peek` must not:
+    // both fired lines sit inside `drive` (the fixture's lines 15-16).
+    assert!(
+        fired.iter().all(|(_, line)| (15..=16).contains(line)),
+        "two-phase findings must point at `drive`: {fired:?}"
+    );
+}
+
+#[test]
+fn panic_hygiene_fires_on_fixture() {
+    let ws = ws_of("fx", &["panic_bad.rs"]);
+    let found = lints_of(&ws, &Config::default());
+    let fired: Vec<_> = found
+        .iter()
+        .filter(|(l, _)| *l == Lint::PanicHygiene)
+        .collect();
+    assert_eq!(
+        fired.len(),
+        5,
+        "unwrap, weak expect, panic!, todo! and bare unreachable! must each fire: {found:?}"
+    );
+}
+
+#[test]
+fn crate_header_fires_on_fixture() {
+    let ws = ws_of("fx", &["header_bad.rs"]);
+    let found = lints_of(&ws, &Config::default());
+    let fired: Vec<_> = found
+        .iter()
+        .filter(|(l, _)| *l == Lint::CrateHeader)
+        .collect();
+    assert_eq!(
+        fired.len(),
+        2,
+        "both missing inner attributes must be reported: {found:?}"
+    );
+}
+
+#[test]
+fn telemetry_fires_on_fixture() {
+    // Two crates: the event-declaring crate and a user crate, so the
+    // coverage scan sees a realistic shape.
+    let mut ws = ws_of("tmu-telemetry", &["telemetry_events.rs"]);
+    ws.crates
+        .extend(ws_of("fx-core", &["telemetry_user.rs"]).crates);
+    let found = lints_of(&ws, &Config::default());
+    let fired: Vec<_> = found
+        .iter()
+        .filter(|(l, _)| *l == Lint::Telemetry)
+        .collect();
+    assert_eq!(
+        fired.len(),
+        2,
+        "the orphan variant and the ungated allocating record must fire \
+         (and the gated twin must not): {found:?}"
+    );
+}
+
+#[test]
+fn parity_fires_on_fixture() {
+    let cfg = Config::parse("[[parity.pair]]\nleft = \"WriteGuardFx\"\nright = \"ReadGuardFx\"\n")
+        .expect("inline parity config parses");
+    let ws = ws_of("fx", &["parity_bad.rs"]);
+    let found = lints_of(&ws, &cfg);
+    let fired: Vec<_> = found
+        .iter()
+        .filter(|(l, _)| *l == Lint::DirectionParity)
+        .collect();
+    assert_eq!(
+        fired.len(),
+        2,
+        "each unmirrored inherent method must be reported once \
+         (mirrored methods and trait impls exempt): {found:?}"
+    );
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn cli_passes_on_real_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tmu-lint"))
+        .arg("--root")
+        .arg(repo_root())
+        .output()
+        .expect("tmu-lint binary runs");
+    assert!(
+        out.status.success(),
+        "the repository must lint clean:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn cli_fails_on_bad_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tmu-lint"))
+        .arg("--root")
+        .arg(fixture("bad_ws"))
+        .output()
+        .expect("tmu-lint binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "findings must exit 1:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("[crate-header]"),
+        "human rendering: {stdout}"
+    );
+    assert!(
+        stdout.contains("[panic-hygiene]"),
+        "human rendering: {stdout}"
+    );
+}
+
+#[test]
+fn cli_json_mode_is_machine_readable() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tmu-lint"))
+        .arg("--json")
+        .arg("--root")
+        .arg(fixture("bad_ws"))
+        .output()
+        .expect("tmu-lint binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.trim_start().starts_with('{'),
+        "json output: {stdout}"
+    );
+    assert!(stdout.contains("\"lint\":\"crate-header\""), "{stdout}");
+    assert!(stdout.contains("\"lint\":\"panic-hygiene\""), "{stdout}");
+    assert!(stdout.contains("\"count\":"), "{stdout}");
+}

@@ -17,6 +17,8 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Clock {
+    /// Committed state: the current cycle index, advanced once per
+    /// committed cycle (or jumped by the fast-forward engine).
     cycle: u64,
 }
 
@@ -83,9 +85,11 @@ impl fmt::Display for Clock {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Reset {
     duration: u64,
+    /// Committed state: cycles the reset line stays asserted.
     remaining: u64,
+    /// Committed state: one-cycle completion strobe.
     done_pulse: bool,
-    /// Total reset requests served (for reporting).
+    /// Committed state: total reset requests served (for reporting).
     requests: u64,
 }
 

@@ -198,6 +198,11 @@ impl Demux {
 
     /// Pass 2: select and forward subordinate responses onto the trunk,
     /// and propagate request-channel `ready`s back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs` is shorter than the configured subordinate
+    /// count, or if the route tables are internally inconsistent.
     pub fn forward_responses(&mut self, subs: &[AxiPort], trunk: &mut AxiPort) {
         // Request readiness back-propagation.
         let aw_ready = match (&self.cur_aw, self.aw_stalled) {
@@ -274,6 +279,11 @@ impl Demux {
 
     /// Pass 4: clock commit — updates route tables from the trunk's
     /// fired handshakes.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a handshake fires without a recorded routing decision — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn commit(&mut self, trunk: &AxiPort) {
         if trunk.aw.fires() {
             let (target, id, _beats) = self.cur_aw.take().expect("AW fired implies decision");

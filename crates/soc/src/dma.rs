@@ -134,6 +134,12 @@ impl DmaEngine {
     }
 
     /// Drive pass: manager-side wires of `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a queued descriptor carries an illegal burst
+    /// length, which `push` rejects up front — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn drive(&mut self, port: &mut AxiPort, _cycle: u64) {
         if self.state == DmaState::Idle {
             if let Some(desc) = self.queue.pop_front() {
@@ -154,7 +160,7 @@ impl DmaEngine {
                     self.id,
                     Addr(desc.src),
                     Self::txn_len(desc.words),
-                    BurstSize::from_bytes(8).expect("legal"),
+                    BurstSize::from_bytes(8).expect("8 bytes is a legal AXI4 beat size"),
                     BurstKind::Incr,
                 ));
             }
@@ -163,7 +169,7 @@ impl DmaEngine {
                     self.id,
                     Addr(desc.dst),
                     Self::txn_len(desc.words),
-                    BurstSize::from_bytes(8).expect("legal"),
+                    BurstSize::from_bytes(8).expect("8 bytes is a legal AXI4 beat size"),
                     BurstKind::Incr,
                 ));
             }

@@ -167,6 +167,11 @@ impl EthSub {
     }
 
     /// Commit pass: absorbs fired handshakes and advances pacing/timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a data beat fires with no transmit job queued — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn commit(&mut self, port: &AxiPort) {
         if let Some(aw) = port.aw.fired_beat() {
             self.tx.push_back(TxJob {

@@ -123,6 +123,7 @@ pub struct GuardedLink<S> {
     reset: Reset,
     mgr_port: AxiPort,
     sub_port: AxiPort,
+    /// Committed state: the link's cycle counter.
     cycle: u64,
     irq_first_at: Option<u64>,
     probe: Option<WaveProbe>,

@@ -339,6 +339,11 @@ impl TrafficGen {
     }
 
     /// Commit pass: samples fired handshakes on `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a handshake fires with no queued transaction — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn commit(&mut self, port: &AxiPort, cycle: u64) {
         if port.aw.fires() {
             let pending = self.aw_queue.pop_front().expect("AW fired while queued");

@@ -139,6 +139,11 @@ impl MemSub {
     }
 
     /// Commit pass: absorbs fired handshakes and advances timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a data beat fires with no pending read job — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn commit(&mut self, port: &AxiPort) {
         // Timers advance first so entries queued in this commit keep
         // their full delay.

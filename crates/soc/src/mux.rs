@@ -95,6 +95,10 @@ impl Mux {
     }
 
     /// Pass 1: arbitrate the managers' request wires onto the trunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mgrs` does not match the configured manager count.
     pub fn forward_requests(&mut self, mgrs: &[AxiPort], trunk: &mut AxiPort) {
         assert_eq!(mgrs.len(), self.n, "manager port count mismatch");
         // AW arbitration (sticky).
@@ -123,6 +127,10 @@ impl Mux {
 
     /// Pass 2: route trunk responses back to their managers (by ID high
     /// bits) and propagate `ready`s in both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mgrs` does not match the configured manager count.
     pub fn forward_responses(&mut self, trunk: &mut AxiPort, mgrs: &mut [AxiPort]) {
         assert_eq!(mgrs.len(), self.n, "manager port count mismatch");
         // Request readys to the granted managers only.
@@ -162,6 +170,11 @@ impl Mux {
     }
 
     /// Pass 3: clock commit — grant bookkeeping from trunk fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a handshake fires without a recorded grant — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn commit(&mut self, trunk: &AxiPort) {
         if trunk.aw.fires() {
             let granted = self.cur_aw.take().expect("AW fired implies grant");

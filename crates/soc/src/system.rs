@@ -121,6 +121,7 @@ pub struct System {
     eth_port: AxiPort,
     mem_port: AxiPort,
     // Plumbing state.
+    /// Committed state: the system's cycle counter.
     cycle: u64,
     irq: IrqInfo,
     irq_level_last: bool,
@@ -211,6 +212,11 @@ impl System {
     }
 
     /// Simulates one clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if fabric bookkeeping invariants are violated — an internal invariant
+    /// violation (a bug in the monitor, not a caller error).
     pub fn step(&mut self) {
         let cycle = self.cycle;
         for p in &mut self.mgr_ports {
@@ -377,6 +383,11 @@ impl System {
     }
 
     /// The TMU guarding the Ethernet link.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the fabric lost the Ethernet monitor, which is
+    /// instantiated unconditionally — an internal invariant violation.
     #[must_use]
     pub fn tmu(&self) -> &Tmu {
         self.fabric
@@ -385,6 +396,11 @@ impl System {
     }
 
     /// Software access to the TMU (register writes, IRQ clearing).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the fabric lost the Ethernet monitor, which is
+    /// instantiated unconditionally — an internal invariant violation.
     pub fn tmu_mut(&mut self) -> &mut Tmu {
         self.fabric
             .tmu_mut(ETH_IDX)

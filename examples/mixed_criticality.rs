@@ -40,8 +40,13 @@ fn run_one(name: &str, cfg: TmuConfig) -> Result<(), Box<dyn std::error::Error>>
     ));
     let detected = link.run_until(50_000, |l| l.tmu.faults_detected() > 0);
     assert!(detected, "{name}: fault must be detected");
-    let latency = link.detection_latency().expect("measurable");
-    let fault = link.tmu.last_fault().expect("logged");
+    let latency = link
+        .detection_latency()
+        .expect("a detected fault always has a measurable latency");
+    let fault = link
+        .tmu
+        .last_fault()
+        .expect("faults_detected > 0 implies a logged fault record");
     println!("{name}");
     println!("  modelled area:      {:>7.0} um2", area.total_um2());
     println!("  detection latency:  {latency:>7} cycles after injection");

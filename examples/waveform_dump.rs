@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         probe.samples(),
         std::fs::metadata(path)?.len()
     );
-    println!("fault record: {}", link.tmu.last_fault().expect("fault"));
+    println!(
+        "fault record: {}",
+        link.tmu
+            .last_fault()
+            .expect("the stalled burst above must have faulted")
+    );
     println!("open with: gtkwave {path}");
     Ok(())
 }

@@ -20,6 +20,9 @@
 //! cargo run --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use axi4;
 pub use faults;
 pub use gf12_area;

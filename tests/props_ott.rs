@@ -35,7 +35,7 @@ proptest! {
             match op {
                 OttOp::Enqueue(uid, v) => {
                     let admitted = ott.enqueue(uid, v).is_some();
-                    prop_assert_eq!(admitted, shadow.iter().map(|q| q.len()).sum::<usize>() < 16);
+                    prop_assert_eq!(admitted, shadow.iter().map(std::collections::VecDeque::len).sum::<usize>() < 16);
                     if admitted {
                         shadow[uid].push_back(v);
                     }
@@ -51,7 +51,7 @@ proptest! {
                 }
             }
             ott.assert_consistent();
-            prop_assert_eq!(ott.len(), shadow.iter().map(|q| q.len()).sum::<usize>());
+            prop_assert_eq!(ott.len(), shadow.iter().map(std::collections::VecDeque::len).sum::<usize>());
             for (uid, q) in shadow.iter().enumerate() {
                 prop_assert_eq!(ott.count_of(uid) as usize, q.len());
                 // The head matches the shadow FIFO front.

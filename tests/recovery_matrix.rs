@@ -140,10 +140,10 @@ fn localization_granularity_matches_variant() {
         let fault = link.tmu.last_fault().expect("fault logged");
         match variant {
             TmuVariant::FullCounter => {
-                assert!(fault.phase.is_some(), "Fc must localize {class}")
+                assert!(fault.phase.is_some(), "Fc must localize {class}");
             }
             TmuVariant::TinyCounter => {
-                assert!(fault.phase.is_none(), "Tc reports transaction-level only")
+                assert!(fault.phase.is_none(), "Tc reports transaction-level only");
             }
         }
     }
