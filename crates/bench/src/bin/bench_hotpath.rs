@@ -9,8 +9,9 @@ use std::time::Instant;
 use faults::FaultClass;
 use tmu::{CounterEngine, TmuVariant};
 use tmu_bench::hotpath::{
-    run_saturated_stall, run_saturated_stall_fastforward, run_saturated_stall_with_telemetry,
-    StallRun, HOTPATH_BUDGET, HOTPATH_OUTSTANDING,
+    passthrough_link, run_overload_isolation, run_saturated_stall, run_saturated_stall_fastforward,
+    run_saturated_stall_with_telemetry, PassthroughLink, StallRun, HOTPATH_BUDGET,
+    HOTPATH_OUTSTANDING, REGULATE_CYCLES,
 };
 use tmu_bench::parallel::{default_threads, fig9_parallel};
 use tmu_bench::table::Table;
@@ -140,6 +141,72 @@ fn main() {
         tel_on_s * 1e3,
     );
 
+    // Traffic regulation: the disabled regulator must be a free
+    // pass-through (wire copies plus one branch per channel), so the
+    // regulated run must sit within noise of the bare fabric (the
+    // acceptance bound is a 1.05x ratio). The overload_isolation
+    // scenario times the full sever-and-ride-through story.
+    // A pass-through run is only tens of milliseconds — far below the
+    // timescale of the host's throughput swings, which scatter any
+    // back-to-back ratio by around +/-8%. The two links are therefore
+    // advanced in alternating sub-millisecond chunks, so every slow
+    // host regime taxes both sides almost equally, and the ratio is
+    // taken between the summed chunk times.
+    const REG_BENCH_CYCLES: u64 = 5 * REGULATE_CYCLES;
+    const REG_CHUNK: u64 = 2_000;
+    const REG_REPS: u32 = 3;
+    let mut bare_total = 0.0f64;
+    let mut passthrough_total = 0.0f64;
+    for rep in 0..REG_REPS {
+        let mut bare = passthrough_link(false);
+        let mut passthrough = passthrough_link(true);
+        for chunk in 0..REG_BENCH_CYCLES / REG_CHUNK {
+            // Alternate which link leads so periodic background load
+            // cannot alias onto one side.
+            let bare_leads = (rep + chunk as u32).is_multiple_of(2);
+            for lead_bare in [bare_leads, !bare_leads] {
+                let start = Instant::now();
+                if lead_bare {
+                    bare.run(REG_CHUNK);
+                    bare_total += start.elapsed().as_secs_f64();
+                } else {
+                    passthrough.run(REG_CHUNK);
+                    passthrough_total += start.elapsed().as_secs_f64();
+                }
+            }
+        }
+        let checksum =
+            |l: &PassthroughLink| l.stats(0).total_completed() + l.stats(1).total_completed();
+        assert_eq!(
+            checksum(&bare),
+            checksum(&passthrough),
+            "a disabled regulator perturbed the traffic"
+        );
+    }
+    let bare_s = bare_total / f64::from(REG_REPS);
+    let passthrough_s = passthrough_total / f64::from(REG_REPS);
+    let passthrough_ratio = passthrough_total / bare_total;
+    let (overload_s, overload) = time_min(run_overload_isolation);
+    assert_eq!(
+        overload.trunk_faults, 0,
+        "wire-legal greed must not register as a protocol fault"
+    );
+    println!(
+        "\nregulator pass-through ({REG_BENCH_CYCLES} cycles, 2 managers, mean of {REG_REPS}): \
+         bare {:.3} ms, disabled-regulator {:.3} ms ({passthrough_ratio:.3}x)",
+        bare_s * 1e3,
+        passthrough_s * 1e3,
+    );
+    println!(
+        "overload_isolation: {:.3} ms; offender severed at cycle {}, \
+         victim completed {} txns, offender {} txns, trunk faults {}",
+        overload_s * 1e3,
+        overload.isolated_at,
+        overload.victim_completed,
+        overload.offender_completed,
+        overload.trunk_faults
+    );
+
     let threads = default_threads();
     let classes: Vec<FaultClass> = FaultClass::WRITE_CLASSES
         .iter()
@@ -197,6 +264,17 @@ fn main() {
         json_f(tel_on_s),
         json_f(disabled_ratio),
         json_f(enabled_ratio)
+    ));
+    json.push_str(&format!(
+        "  \"regulator\": {{\"passthrough_cycles\": {REG_BENCH_CYCLES}, \"passthrough_reps\": {REG_REPS}, \"overload_cycles\": {REGULATE_CYCLES}, \"bare_s\": {}, \"passthrough_s\": {}, \"passthrough_overhead_ratio\": {}, \"overload_isolation_s\": {}, \"isolated_at_cycle\": {}, \"victim_completed\": {}, \"offender_completed\": {}, \"trunk_faults\": {}}},\n",
+        json_f(bare_s),
+        json_f(passthrough_s),
+        json_f(passthrough_ratio),
+        json_f(overload_s),
+        overload.isolated_at,
+        overload.victim_completed,
+        overload.offender_completed,
+        overload.trunk_faults
     ));
     json.push_str(&format!(
         "  \"fig9_sweep\": {{\"variants\": 2, \"classes\": {}, \"host_cpus\": {}, \"threads\": {}, \"serial_s\": {}, \"parallel_s\": {}, \"speedup\": {}}}\n",

@@ -22,7 +22,10 @@
 use sim::{Simulation, StepStatus};
 use soc::link::{BlackHoleSub, GuardedLink};
 use soc::manager::TrafficPattern;
+use soc::memory::MemSub;
+use soc::regulated::RegulatedLink;
 use tmu::{BudgetConfig, CounterEngine, TelemetryConfig, TmuConfig, TmuVariant};
+use tmu_regulate::{DirBudget, RegulationMode, RegulatorConfig};
 
 /// Outstanding transactions at saturation, capped by the manager's
 /// issue window. The TMU itself is provisioned with headroom (4 unique
@@ -206,11 +209,173 @@ pub fn run_saturated_stall_fastforward(variant: TmuVariant, budget: u64) -> Stal
     stall_result(&link, steps)
 }
 
+/// Cycles simulated by the traffic-regulation scenarios below: long
+/// enough for the offender to fill its outstanding window, overrun the
+/// budget for the required consecutive windows, and be severed, with a
+/// comfortable post-isolation stretch for the victim.
+pub const REGULATE_CYCLES: u64 = 20_000;
+
+fn regulate_victim_pattern() -> TrafficPattern {
+    TrafficPattern {
+        write_ratio: 1.0,
+        burst_lens: vec![4],
+        ids: vec![0, 1],
+        addr_base: 0x8000_0000,
+        addr_span: 0x10_0000,
+        max_outstanding: 2,
+        issue_gap: 16,
+        total_txns: None,
+        verify_data: false,
+    }
+}
+
+fn regulate_offender_pattern() -> TrafficPattern {
+    TrafficPattern {
+        write_ratio: 1.0,
+        burst_lens: vec![16],
+        ids: vec![0, 1, 2, 3],
+        addr_base: 0x8010_0000,
+        addr_span: 0x10_0000,
+        max_outstanding: 8,
+        issue_gap: 0,
+        total_txns: None,
+        verify_data: false,
+    }
+}
+
+/// A budget the offender pattern overruns within its first two windows.
+fn overload_cfg() -> RegulatorConfig {
+    RegulatorConfig::builder()
+        .write_budget(DirBudget {
+            bytes_per_window: 512,
+            txns_per_window: 4,
+        })
+        .read_budget(DirBudget::unlimited())
+        .window_cycles(256)
+        .mode(RegulationMode::Isolate { overrun_windows: 2 })
+        .build()
+        .expect("valid overload-isolation configuration")
+}
+
+/// Outcome of one `overload_isolation` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadRun {
+    /// Cycle at which the regulator severed the offender.
+    pub isolated_at: u64,
+    /// Transactions the victim manager completed over the full run.
+    pub victim_completed: u64,
+    /// Transactions the offender completed before being severed.
+    pub offender_completed: u64,
+    /// Protocol faults the trunk TMU recorded (must stay zero: greed is
+    /// wire-legal).
+    pub trunk_faults: u64,
+}
+
+/// The `overload_isolation` scenario: a well-behaved victim and a
+/// back-to-back offender share one memory port behind a trunk TMU; a
+/// tight isolating regulator on the offender's port must sever it while
+/// the victim and the trunk monitor ride through untouched.
+///
+/// # Panics
+///
+/// Panics if the offender is not isolated within the run — a regulator
+/// bug, not a caller error.
+#[must_use]
+pub fn run_overload_isolation() -> OverloadRun {
+    let mut link = RegulatedLink::new(
+        vec![
+            (regulate_victim_pattern(), None),
+            (regulate_offender_pattern(), Some(overload_cfg())),
+        ],
+        Some(TmuConfig::default()),
+        MemSub::default(),
+        0x0E7A,
+    );
+    let isolated = link.run_until(REGULATE_CYCLES, |l| l.fabric().any_isolated());
+    assert!(isolated, "the offender must be isolated within the run");
+    let isolated_at = link.cycle();
+    link.run(REGULATE_CYCLES.saturating_sub(isolated_at));
+    OverloadRun {
+        isolated_at,
+        victim_completed: link.stats(0).total_completed(),
+        offender_completed: link.stats(1).total_completed(),
+        trunk_faults: link.tmu().expect("trunk TMU attached").faults_detected(),
+    }
+}
+
+/// The concrete link type of the pass-through measurement.
+pub type PassthroughLink = RegulatedLink<MemSub>;
+
+/// Builds the two-manager pass-through measurement link. With
+/// `attach_disabled` the ports carry *disabled* regulators (the
+/// wire-transparent pass-through being costed); without it the slots
+/// are empty — the bare baseline. Both links carry identical traffic,
+/// so any completed-transaction checksum must match between them.
+///
+/// # Panics
+///
+/// Panics if the builder rejects the disabled configuration — a
+/// configuration-validation bug, not a caller error.
+#[must_use]
+pub fn passthrough_link(attach_disabled: bool) -> PassthroughLink {
+    let slot = || {
+        attach_disabled.then(|| {
+            RegulatorConfig::builder()
+                .enabled(false)
+                .build()
+                .expect("a disabled configuration is always valid")
+        })
+    };
+    RegulatedLink::new(
+        vec![
+            (regulate_victim_pattern(), slot()),
+            (regulate_victim_pattern(), slot()),
+        ],
+        Some(TmuConfig::default()),
+        MemSub::default(),
+        0xAB5E,
+    )
+}
+
+/// Runs [`passthrough_link`] for `cycles` and returns the total
+/// completed transactions as a checksum.
+#[must_use]
+pub fn run_regulated_passthrough(attach_disabled: bool, cycles: u64) -> u64 {
+    let mut link = passthrough_link(attach_disabled);
+    link.run(cycles);
+    link.stats(0).total_completed() + link.stats(1).total_completed()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const TEST_BUDGET: u64 = 2_000;
+
+    #[test]
+    fn overload_isolation_severs_offender_and_spares_victim() {
+        let run = run_overload_isolation();
+        assert_eq!(
+            run.trunk_faults, 0,
+            "greed is wire-legal: trunk stays clean"
+        );
+        assert!(
+            run.victim_completed > run.offender_completed,
+            "the victim must outlive the severed offender \
+             ({} vs {})",
+            run.victim_completed,
+            run.offender_completed
+        );
+    }
+
+    #[test]
+    fn passthrough_checksums_match_the_bare_baseline() {
+        assert_eq!(
+            run_regulated_passthrough(false, REGULATE_CYCLES),
+            run_regulated_passthrough(true, REGULATE_CYCLES),
+            "a disabled regulator must not perturb traffic"
+        );
+    }
 
     #[test]
     fn engines_agree_cycle_for_cycle() {

@@ -24,15 +24,20 @@ pub enum FaultKind {
     Timeout,
     /// A protocol rule fired.
     Protocol(Rule),
+    /// An external supervisor (e.g. a traffic regulator) commanded the
+    /// TMU to sever and abort the link; the string names the policy.
+    External(&'static str),
 }
 
 impl FaultKind {
-    /// Compact register encoding: 1 = timeout, 2 = protocol violation.
+    /// Compact register encoding: 1 = timeout, 2 = protocol violation,
+    /// 3 = externally commanded isolation.
     #[must_use]
     pub fn reg_code(self) -> u8 {
         match self {
             FaultKind::Timeout => 1,
             FaultKind::Protocol(_) => 2,
+            FaultKind::External(_) => 3,
         }
     }
 }
@@ -42,6 +47,7 @@ impl fmt::Display for FaultKind {
         match self {
             FaultKind::Timeout => write!(f, "timeout"),
             FaultKind::Protocol(rule) => write!(f, "protocol({rule})"),
+            FaultKind::External(reason) => write!(f, "external({reason})"),
         }
     }
 }

@@ -97,6 +97,19 @@ impl Tmu {
             });
         }
 
+        if let Some(reason) = self.pending_isolation.take() {
+            self.trace
+                .record(cycle, "tmu", "externally commanded isolation");
+            records.push(ErrorRecord {
+                cycle,
+                kind: FaultKind::External(reason),
+                phase: None,
+                id: None,
+                addr: None,
+                inflight_cycles: 0,
+            });
+        }
+
         if records.is_empty() {
             return;
         }

@@ -102,6 +102,9 @@ pub struct Tmu {
     accept_aw_fired: bool,
     accept_ar_fired: bool,
     pending_violations: Vec<axi4::checker::Violation>,
+    /// An externally commanded isolation (traffic regulator escalation)
+    /// waiting to be folded into the next commit's fault collection.
+    pending_isolation: Option<&'static str>,
     faults_detected: u64,
     resets_requested: u64,
     /// Committed state: cycles this monitor has committed.
@@ -140,6 +143,7 @@ impl Tmu {
             accept_aw_fired: false,
             accept_ar_fired: false,
             pending_violations: Vec::new(),
+            pending_isolation: None,
             faults_detected: 0,
             resets_requested: 0,
             cycles: 0,
@@ -186,6 +190,22 @@ impl Tmu {
         ) {
             (Some(w), Some(r)) => Some(w.min(r)),
             (w, r) => w.or(r),
+        }
+    }
+
+    /// Commands the TMU to sever and abort the link at its next commit,
+    /// exactly as if a fault had been detected, logging the event as
+    /// [`crate::log::FaultKind::External`] with the given policy name.
+    ///
+    /// This is the escalation hook for external supervisors (the
+    /// `tmu-regulate` isolation mode): instead of duplicating the
+    /// sever/abort/drain machinery, a regulator points its verdict at the
+    /// TMU already sitting on the port. Ignored unless the TMU is
+    /// enabled and currently `Monitoring` (a recovery already in flight
+    /// subsumes the request).
+    pub fn trigger_isolation(&mut self, reason: &'static str) {
+        if self.state == TmuState::Monitoring && self.regs.enabled() {
+            self.pending_isolation = Some(reason);
         }
     }
 

@@ -11,6 +11,8 @@
 //!   fault is applied.
 //! * [`Injector`] — the wire-level corruptor spliced into the per-cycle
 //!   pipeline.
+//! * [`BudgetExhaustion`] — a behavioural (wire-legal) fault that turns
+//!   a manager greedy; detected by traffic regulators, not the TMU.
 //! * [`fuzz`] — seeded random plan generation for fuzz campaigns.
 //!
 //! # Where faults are applied
@@ -47,4 +49,4 @@ pub mod injector;
 pub mod plan;
 
 pub use injector::Injector;
-pub use plan::{Duration, FaultClass, FaultPlan, Trigger};
+pub use plan::{BudgetExhaustion, Duration, FaultClass, FaultPlan, Trigger};

@@ -157,6 +157,62 @@ impl FaultPlan {
     }
 }
 
+/// A *behavioural* fault: from `at_cycle` the targeted manager's
+/// traffic generator is reprogrammed to over-issue — the issue gap
+/// collapses to [`issue_gap`](Self::issue_gap), the outstanding window
+/// widens to [`max_outstanding`](Self::max_outstanding), and bursts are
+/// forced to [`burst_beats`](Self::burst_beats) — so it exceeds any
+/// reasonable bandwidth budget while every wire stays AXI-legal.
+///
+/// Unlike the wire-level [`FaultClass`]es (which the TMU detects as
+/// hangs or corruption), this class is invisible to timeout monitoring:
+/// a greedy manager completes every transaction. The intended detector
+/// is a credit-based regulator, which throttles and — on sustained
+/// overrun — isolates the port. Harnesses apply the plan through the
+/// traffic generator's `reconfigure` hook rather than the wire
+/// [`crate::Injector`], keeping the generator's bookkeeping coherent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BudgetExhaustion {
+    /// Cycle at which the manager turns greedy.
+    pub at_cycle: u64,
+    /// Issue gap forced from then on (cycles between issues).
+    pub issue_gap: u64,
+    /// Outstanding-transaction window forced from then on.
+    pub max_outstanding: usize,
+    /// Burst length (beats) forced from then on.
+    pub burst_beats: u16,
+}
+
+impl BudgetExhaustion {
+    /// A maximally greedy plan activating at `cycle`: back-to-back
+    /// 16-beat bursts with a deep outstanding window.
+    #[must_use]
+    pub fn at_cycle(cycle: u64) -> Self {
+        BudgetExhaustion {
+            at_cycle: cycle,
+            issue_gap: 0,
+            max_outstanding: 8,
+            burst_beats: 16,
+        }
+    }
+
+    /// True once the plan should have been applied.
+    #[must_use]
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle >= self.at_cycle
+    }
+}
+
+impl fmt::Display for BudgetExhaustion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "budget exhaustion at cycle {} ({}-beat bursts, gap {}, {} outstanding)",
+            self.at_cycle, self.burst_beats, self.issue_gap, self.max_outstanding
+        )
+    }
+}
+
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} ", self.class)?;
@@ -206,6 +262,17 @@ mod tests {
         for c in FaultClass::ALL {
             assert!(labels.insert(c.label()));
         }
+    }
+
+    #[test]
+    fn budget_exhaustion_schedule_and_display() {
+        let plan = BudgetExhaustion::at_cycle(500);
+        assert!(!plan.due(499));
+        assert!(plan.due(500));
+        assert!(plan.due(501));
+        let s = plan.to_string();
+        assert!(s.contains("cycle 500"), "{s}");
+        assert!(s.contains("16-beat"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! The per-manager budget unit: two credit buckets (write/read), each
+//! holding byte and transaction credits that drain on granted address
+//! handshakes and refill to the configured budget at every window
+//! boundary, plus the consecutive-overrun streak that feeds the
+//! isolation decision.
+
+use tmu_telemetry::Dir;
+
+use crate::config::{DirBudget, RegulatorConfig};
+
+/// One direction's live credit levels.
+#[derive(Debug, Clone, Copy)]
+struct DirCredits {
+    budget: DirBudget,
+    /// Committed state: byte credits left in the current window.
+    q_bytes: u64,
+    /// Committed state: transaction credits left in the current window.
+    q_txns: u64,
+}
+
+impl DirCredits {
+    fn full(budget: DirBudget) -> Self {
+        DirCredits {
+            budget,
+            q_bytes: budget.bytes_per_window,
+            q_txns: budget.txns_per_window,
+        }
+    }
+}
+
+/// What the regulator's commit pass charges the budget with for one
+/// cycle: the granted address handshakes (at most one per direction per
+/// cycle) and whether any handshake was denied for lack of credit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleSpend {
+    /// Payload bytes of a granted AW this cycle (0 if none fired).
+    pub write_bytes: u64,
+    /// 1 if an AW was granted this cycle.
+    pub write_txns: u64,
+    /// Payload bytes of a granted AR this cycle (0 if none fired).
+    pub read_bytes: u64,
+    /// 1 if an AR was granted this cycle.
+    pub read_txns: u64,
+    /// True if any address handshake was credit-denied this cycle.
+    pub denied: bool,
+}
+
+/// Report of a window boundary crossed by [`BudgetUnit::commit`].
+#[derive(Debug, Clone, Copy)]
+pub struct WindowRollover {
+    /// Index of the window that just closed (0-based).
+    pub window: u64,
+    /// True if at least one handshake was credit-denied in that window —
+    /// i.e. the manager attempted more than its budget.
+    pub overrun: bool,
+    /// Consecutive overrun windows ending with this one (0 if the window
+    /// was compliant).
+    pub streak: u32,
+}
+
+/// Credit bookkeeping for one manager port.
+///
+/// Follows the workspace's two-phase discipline: the `q_`-prefixed
+/// fields are registered state, assigned only by [`BudgetUnit::commit`]
+/// and [`BudgetUnit::reset`]; [`BudgetUnit::may_grant`] is the
+/// combinational read used during the drive passes.
+#[derive(Debug, Clone)]
+pub struct BudgetUnit {
+    write: DirCredits,
+    read: DirCredits,
+    window_cycles: u64,
+    /// Committed state: a credit denial occurred in the current window.
+    q_window_denied: bool,
+    /// Committed state: consecutive windows that ended overrun.
+    q_streak: u32,
+    /// Committed state: windows completed since construction/reset.
+    q_windows: u64,
+}
+
+impl BudgetUnit {
+    /// Builds a full bucket from the regulator configuration.
+    #[must_use]
+    pub fn new(cfg: &RegulatorConfig) -> Self {
+        BudgetUnit {
+            write: DirCredits::full(cfg.write_budget()),
+            read: DirCredits::full(cfg.read_budget()),
+            window_cycles: cfg.window_cycles(),
+            q_window_denied: false,
+            q_streak: 0,
+            q_windows: 0,
+        }
+    }
+
+    /// Combinational grant decision for an address handshake in `dir`:
+    /// granted while both the byte and the transaction credit are
+    /// nonzero. The deduction itself saturates, so one window can
+    /// overshoot by at most one maximal burst.
+    #[must_use]
+    pub fn may_grant(&self, dir: Dir) -> bool {
+        let credits = match dir {
+            Dir::Write => &self.write,
+            Dir::Read => &self.read,
+        };
+        credits.q_bytes > 0 && credits.q_txns > 0
+    }
+
+    /// Byte credits left in `dir`'s bucket.
+    #[must_use]
+    pub fn bytes_left(&self, dir: Dir) -> u64 {
+        match dir {
+            Dir::Write => self.write.q_bytes,
+            Dir::Read => self.read.q_bytes,
+        }
+    }
+
+    /// Transaction credits left in `dir`'s bucket.
+    #[must_use]
+    pub fn txns_left(&self, dir: Dir) -> u64 {
+        match dir {
+            Dir::Write => self.write.q_txns,
+            Dir::Read => self.read.q_txns,
+        }
+    }
+
+    /// Consecutive overrun windows so far.
+    #[must_use]
+    pub fn streak(&self) -> u32 {
+        self.q_streak
+    }
+
+    /// Windows completed since construction or the last reset.
+    #[must_use]
+    pub fn windows_completed(&self) -> u64 {
+        self.q_windows
+    }
+
+    /// Clock commit for `cycle`: deducts the cycle's granted spend,
+    /// latches any denial, and — when `cycle` closes a window — refills
+    /// both buckets and reports the rollover.
+    pub fn commit(&mut self, spend: &CycleSpend, cycle: u64) -> Option<WindowRollover> {
+        self.write.q_bytes = self.write.q_bytes.saturating_sub(spend.write_bytes);
+        self.write.q_txns = self.write.q_txns.saturating_sub(spend.write_txns);
+        self.read.q_bytes = self.read.q_bytes.saturating_sub(spend.read_bytes);
+        self.read.q_txns = self.read.q_txns.saturating_sub(spend.read_txns);
+        self.q_window_denied = self.q_window_denied || spend.denied;
+        if !(cycle + 1).is_multiple_of(self.window_cycles) {
+            return None;
+        }
+        let overrun = self.q_window_denied;
+        self.q_streak = if overrun {
+            self.q_streak.saturating_add(1)
+        } else {
+            0
+        };
+        let window = self.q_windows;
+        self.q_windows += 1;
+        self.q_window_denied = false;
+        self.write = DirCredits::full(self.write.budget);
+        self.read = DirCredits::full(self.read.budget);
+        Some(WindowRollover {
+            window,
+            overrun,
+            streak: self.q_streak,
+        })
+    }
+
+    /// Refills both buckets and clears the overrun history (used when a
+    /// severed manager is re-admitted).
+    pub fn reset(&mut self) {
+        self.write = DirCredits::full(self.write.budget);
+        self.read = DirCredits::full(self.read.budget);
+        self.q_window_denied = false;
+        self.q_streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DirBudget, RegulatorConfig};
+
+    fn unit(bytes: u64, txns: u64, window: u64) -> BudgetUnit {
+        let cfg = RegulatorConfig::builder()
+            .write_budget(DirBudget {
+                bytes_per_window: bytes,
+                txns_per_window: txns,
+            })
+            .read_budget(DirBudget {
+                bytes_per_window: bytes,
+                txns_per_window: txns,
+            })
+            .window_cycles(window)
+            .build()
+            .expect("test budget configuration is valid");
+        BudgetUnit::new(&cfg)
+    }
+
+    #[test]
+    fn grants_until_either_credit_exhausts() {
+        let mut b = unit(100, 2, 1000);
+        assert!(b.may_grant(Dir::Write));
+        b.commit(
+            &CycleSpend {
+                write_bytes: 64,
+                write_txns: 1,
+                ..CycleSpend::default()
+            },
+            0,
+        );
+        assert!(b.may_grant(Dir::Write));
+        b.commit(
+            &CycleSpend {
+                write_bytes: 64,
+                write_txns: 1,
+                ..CycleSpend::default()
+            },
+            1,
+        );
+        // Bytes saturated to zero (one-burst overshoot) and txns are out.
+        assert_eq!(b.bytes_left(Dir::Write), 0);
+        assert_eq!(b.txns_left(Dir::Write), 0);
+        assert!(!b.may_grant(Dir::Write));
+        // The read bucket is untouched.
+        assert!(b.may_grant(Dir::Read));
+    }
+
+    #[test]
+    fn window_rollover_refills_and_tracks_streak() {
+        let mut b = unit(10, 10, 4);
+        // Window 0 (cycles 0..=3): denied.
+        for cycle in 0..3 {
+            assert!(b
+                .commit(
+                    &CycleSpend {
+                        denied: true,
+                        ..CycleSpend::default()
+                    },
+                    cycle
+                )
+                .is_none());
+        }
+        let roll = b
+            .commit(
+                &CycleSpend {
+                    denied: true,
+                    ..CycleSpend::default()
+                },
+                3,
+            )
+            .expect("cycle 3 closes the 4-cycle window");
+        assert!(roll.overrun);
+        assert_eq!((roll.window, roll.streak), (0, 1));
+        assert_eq!(b.bytes_left(Dir::Write), 10);
+        // Window 1: compliant — streak clears.
+        for cycle in 4..7 {
+            b.commit(&CycleSpend::default(), cycle);
+        }
+        let roll = b
+            .commit(&CycleSpend::default(), 7)
+            .expect("cycle 7 closes the second window");
+        assert!(!roll.overrun);
+        assert_eq!(roll.streak, 0);
+        assert_eq!(b.windows_completed(), 2);
+    }
+
+    #[test]
+    fn reset_refills_and_clears_history() {
+        let mut b = unit(8, 1, 16);
+        b.commit(
+            &CycleSpend {
+                write_bytes: 8,
+                write_txns: 1,
+                denied: true,
+                ..CycleSpend::default()
+            },
+            0,
+        );
+        assert!(!b.may_grant(Dir::Write));
+        b.reset();
+        assert!(b.may_grant(Dir::Write));
+        assert_eq!(b.streak(), 0);
+        assert_eq!(b.bytes_left(Dir::Write), 8);
+    }
+}

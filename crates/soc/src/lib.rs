@@ -21,6 +21,9 @@
 //!   IP-level fault-injection harness of Fig. 9.
 //! * [`fabric`] — a sharded bank of per-port TMUs behind the demux, with
 //!   merged fault/interrupt views and independent per-port recovery.
+//! * [`regulated`] — per-manager credit regulators upstream of the mux
+//!   (bandwidth budgeting and misbehaving-manager isolation) and the
+//!   regulated shared-subordinate link assembly.
 //! * [`probe`] — VCD waveform probing of any port's wires.
 //! * [`system`] — the full assembly: two managers → mux → demux →
 //!   {memory, TMU + Ethernet}, plus the reset controller and interrupt
@@ -49,6 +52,7 @@ pub mod manager;
 pub mod memory;
 pub mod mux;
 pub mod probe;
+pub mod regulated;
 pub mod system;
 
 pub use demux::{AddrRegion, Demux};
@@ -60,4 +64,5 @@ pub use manager::{MgrStats, TrafficGen, TrafficPattern};
 pub use memory::{MemConfig, MemSub};
 pub use mux::Mux;
 pub use probe::WaveProbe;
+pub use regulated::{RegulatedFabric, RegulatedLink};
 pub use system::{System, SystemConfig};

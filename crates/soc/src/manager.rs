@@ -217,6 +217,15 @@ impl TrafficGen {
         &self.stats
     }
 
+    /// Rewrites the traffic pattern in place mid-run: transactions
+    /// already queued keep flowing, only future generation follows the
+    /// new pattern. Behavioural fault plans use this to turn a
+    /// well-behaved manager into a bandwidth hog without desynchronising
+    /// the generator's bookkeeping.
+    pub fn reconfigure(&mut self, f: impl FnOnce(&mut TrafficPattern)) {
+        f(&mut self.pattern);
+    }
+
     /// In-flight breakdown `(aw_queue, data_queue, await_b, ar_queue,
     /// await_r)` — diagnostics.
     #[must_use]

@@ -8,6 +8,12 @@
 //! selected-but-unfired request keeps its grant so the trunk sees stable
 //! wires); W beats strictly follow the AW grant order, as AXI requires.
 //!
+//! [`Mux::set_priorities`] switches the address channels to static
+//! priority arbitration (higher value wins, round-robin order breaks
+//! ties): regulated fabrics use it to let a critical manager overtake a
+//! throttled best-effort one. An already-granted request is never
+//! pre-empted — AXI forbids retracting a presented valid.
+//!
 //! # Per-cycle protocol
 //!
 //! 1. [`Mux::forward_requests`] after the managers drive,
@@ -23,6 +29,9 @@ use axi4::prelude::*;
 pub struct Mux {
     n: usize,
     id_shift: u32,
+    /// Static per-manager priorities (higher wins); `None` keeps the
+    /// default fair round-robin.
+    priorities: Option<Vec<u8>>,
     aw_lock: Option<usize>,
     aw_rr: usize,
     ar_lock: Option<usize>,
@@ -53,6 +62,7 @@ impl Mux {
         Mux {
             n,
             id_shift,
+            priorities: None,
             aw_lock: None,
             aw_rr: 0,
             ar_lock: None,
@@ -79,10 +89,23 @@ impl Mux {
         (index, AxiId(id.0 & mask))
     }
 
+    /// Installs static arbitration priorities (index-aligned with the
+    /// manager ports; higher value wins, round-robin breaks ties).
+    /// Missing entries default to priority 0; `set_priorities(vec![])`
+    /// restores plain round-robin.
+    pub fn set_priorities(&mut self, priorities: Vec<u8>) {
+        self.priorities = if priorities.is_empty() {
+            None
+        } else {
+            Some(priorities)
+        };
+    }
+
     fn arbitrate(
         lock: &mut Option<usize>,
         rr: usize,
         n: usize,
+        priorities: Option<&[u8]>,
         valid: impl Fn(usize) -> bool,
     ) -> Option<usize> {
         if let Some(locked) = lock {
@@ -91,7 +114,25 @@ impl Mux {
             }
             *lock = None;
         }
-        (0..n).map(|k| (rr + k) % n).find(|&i| valid(i))
+        let Some(prio) = priorities else {
+            return (0..n).map(|k| (rr + k) % n).find(|&i| valid(i));
+        };
+        // Highest priority among the valid requesters; the round-robin
+        // pointer orders equal-priority contenders (strict `>` keeps the
+        // first one encountered in rr order).
+        let mut best: Option<usize> = None;
+        for k in 0..n {
+            let i = (rr + k) % n;
+            if !valid(i) {
+                continue;
+            }
+            let p = prio.get(i).copied().unwrap_or(0);
+            match best {
+                Some(b) if prio.get(b).copied().unwrap_or(0) >= p => {}
+                _ => best = Some(i),
+            }
+        }
+        best
     }
 
     /// Pass 1: arbitrate the managers' request wires onto the trunk.
@@ -102,9 +143,13 @@ impl Mux {
     pub fn forward_requests(&mut self, mgrs: &[AxiPort], trunk: &mut AxiPort) {
         assert_eq!(mgrs.len(), self.n, "manager port count mismatch");
         // AW arbitration (sticky).
-        self.cur_aw = Self::arbitrate(&mut self.aw_lock, self.aw_rr, self.n, |i| {
-            mgrs[i].aw.valid()
-        });
+        self.cur_aw = Self::arbitrate(
+            &mut self.aw_lock,
+            self.aw_rr,
+            self.n,
+            self.priorities.as_deref(),
+            |i| mgrs[i].aw.valid(),
+        );
         if let Some(i) = self.cur_aw {
             let mut beat = *mgrs[i].aw.beat().expect("arbitrated valid");
             beat.id = self.extend_id(i, beat.id);
@@ -115,9 +160,13 @@ impl Mux {
             trunk.w.forward_driver_from(&mgrs[grant].w);
         }
         // AR arbitration (sticky).
-        self.cur_ar = Self::arbitrate(&mut self.ar_lock, self.ar_rr, self.n, |i| {
-            mgrs[i].ar.valid()
-        });
+        self.cur_ar = Self::arbitrate(
+            &mut self.ar_lock,
+            self.ar_rr,
+            self.n,
+            self.priorities.as_deref(),
+            |i| mgrs[i].ar.valid(),
+        );
         if let Some(i) = self.cur_ar {
             let mut beat = *mgrs[i].ar.beat().expect("arbitrated valid");
             beat.id = self.extend_id(i, beat.id);
@@ -342,6 +391,44 @@ mod tests {
         mgrs[1].w.drive(WBeat::new(0xBB, true));
         mux.forward_requests(&mgrs, &mut trunk);
         assert_eq!(trunk.w.beat().unwrap().data, 0xBB);
+    }
+
+    #[test]
+    fn static_priority_overrides_round_robin() {
+        let mut mux = Mux::new(2, 12);
+        mux.set_priorities(vec![0, 7]);
+        let mut trunk = AxiPort::new();
+        // Both managers request every cycle; manager 1 must win every
+        // arbitration despite the advancing round-robin pointer.
+        for round in 0..4 {
+            let mut mgrs = ports(2);
+            trunk.begin_cycle();
+            mgrs[0].aw.drive(aw(1, 0x0));
+            mgrs[1].aw.drive(aw(1, 0x8));
+            mux.forward_requests(&mgrs, &mut trunk);
+            trunk.aw.set_ready(true);
+            mux.forward_responses(&mut trunk, &mut mgrs);
+            assert_eq!(
+                trunk.aw.beat().unwrap().addr.0,
+                0x8,
+                "round {round}: high priority wins"
+            );
+            mux.commit(&trunk);
+            // Drain the owed W beat to keep w_grant bounded.
+            let mut mgrs2 = ports(2);
+            trunk.begin_cycle();
+            mgrs2[1].w.drive(WBeat::new(0, true));
+            mux.forward_requests(&mgrs2, &mut trunk);
+            trunk.w.set_ready(true);
+            mux.forward_responses(&mut trunk, &mut mgrs2);
+            mux.commit(&trunk);
+        }
+        // Once the high-priority manager goes quiet, the low one flows.
+        let mut mgrs = ports(2);
+        trunk.begin_cycle();
+        mgrs[0].aw.drive(aw(1, 0x0));
+        mux.forward_requests(&mgrs, &mut trunk);
+        assert_eq!(trunk.aw.beat().unwrap().addr.0, 0x0);
     }
 
     #[test]

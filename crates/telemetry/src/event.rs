@@ -246,6 +246,39 @@ pub enum TraceEvent {
         /// The stage reached.
         stage: RecoveryStage,
     },
+    /// A traffic regulator granted an address handshake, spending
+    /// credits from the manager's budget window.
+    CreditGrant {
+        /// Direction of the granted transaction.
+        dir: Dir,
+        /// Raw AXI ID of the granted address beat.
+        id: u16,
+        /// Payload bytes charged against the byte budget.
+        bytes: u64,
+    },
+    /// A traffic regulator gated an address handshake for lack of
+    /// credits (recorded once per stalled burst, when the wait begins).
+    CreditDeny {
+        /// Direction of the denied transaction.
+        dir: Dir,
+        /// Raw AXI ID of the denied address beat.
+        id: u16,
+    },
+    /// A regulator replenishment window rolled over and the manager's
+    /// credits were restored to their per-window budgets.
+    CreditReplenish {
+        /// Index of the window that just completed.
+        window: u64,
+        /// Whether demand exceeded the budget during that window.
+        overrun: bool,
+    },
+    /// A regulator escalated to isolation: the manager exceeded its
+    /// budget for `streak` consecutive windows, so its link is severed
+    /// and every outstanding transaction aborts with `SLVERR`.
+    Isolated {
+        /// Consecutive overrun windows that triggered the isolation.
+        streak: u32,
+    },
     /// A named monotonic counter increased by `delta`. Routed into the
     /// [`crate::MetricsHub`] automatically.
     Counter {
@@ -278,6 +311,10 @@ impl TraceEvent {
             TraceEvent::WheelFire { .. } => "wheel-fire",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Recovery { .. } => "recovery",
+            TraceEvent::CreditGrant { .. } => "credit-grant",
+            TraceEvent::CreditDeny { .. } => "credit-deny",
+            TraceEvent::CreditReplenish { .. } => "credit-replenish",
+            TraceEvent::Isolated { .. } => "isolated",
             TraceEvent::Counter { .. } => "counter",
             TraceEvent::Gauge { .. } => "gauge",
         }
@@ -361,6 +398,16 @@ impl TraceEvent {
                 )
             }
             TraceEvent::Recovery { stage } => format!("\"stage\":\"{}\"", stage.as_str()),
+            TraceEvent::CreditGrant { dir, id, bytes } => {
+                format!("\"dir\":\"{}\",\"id\":{id},\"bytes\":{bytes}", dir.as_str())
+            }
+            TraceEvent::CreditDeny { dir, id } => {
+                format!("\"dir\":\"{}\",\"id\":{id}", dir.as_str())
+            }
+            TraceEvent::CreditReplenish { window, overrun } => {
+                format!("\"window\":{window},\"overrun\":{overrun}")
+            }
+            TraceEvent::Isolated { streak } => format!("\"streak\":{streak}"),
             TraceEvent::Counter { name, delta } => {
                 format!("\"name\":\"{name}\",\"delta\":{delta}")
             }
@@ -436,6 +483,16 @@ impl fmt::Display for TraceEvent {
                 Ok(())
             }
             TraceEvent::Recovery { stage } => write!(f, "recovery: {}", stage.as_str()),
+            TraceEvent::CreditGrant { dir, id, bytes } => {
+                write!(f, "{dir} credit grant id={id} bytes={bytes}")
+            }
+            TraceEvent::CreditDeny { dir, id } => write!(f, "{dir} credit deny id={id}"),
+            TraceEvent::CreditReplenish { window, overrun } => {
+                write!(f, "credit replenish window={window} overrun={overrun}")
+            }
+            TraceEvent::Isolated { streak } => {
+                write!(f, "isolated after {streak} overrun windows")
+            }
             TraceEvent::Counter { name, delta } => write!(f, "counter {name} += {delta}"),
             TraceEvent::Gauge { name, value } => write!(f, "gauge {name} = {value}"),
         }
@@ -520,6 +577,33 @@ mod tests {
         };
         assert!(bare.json_fields().contains("\"dir\":null"));
         assert!(bare.json_fields().contains("\"phase\":null"));
+    }
+
+    #[test]
+    fn credit_events_serialize_and_display() {
+        let grant = TraceEvent::CreditGrant {
+            dir: Dir::Write,
+            id: 2,
+            bytes: 256,
+        };
+        assert!(grant.json_fields().contains("\"bytes\":256"));
+        assert_eq!(grant.kind(), "credit-grant");
+        assert_eq!(grant.to_string(), "write credit grant id=2 bytes=256");
+        let replenish = TraceEvent::CreditReplenish {
+            window: 7,
+            overrun: true,
+        };
+        assert!(replenish.json_fields().contains("\"overrun\":true"));
+        let isolated = TraceEvent::Isolated { streak: 3 };
+        assert_eq!(isolated.to_string(), "isolated after 3 overrun windows");
+        assert_eq!(
+            TraceEvent::CreditDeny {
+                dir: Dir::Read,
+                id: 1
+            }
+            .kind(),
+            "credit-deny"
+        );
     }
 
     #[test]

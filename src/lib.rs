@@ -9,6 +9,8 @@
 //! * [`sim`] — the deterministic cycle-based simulation kernel.
 //! * [`tmu`] — the paper's contribution: the Transaction Monitoring Unit.
 //! * [`faults`] — signal-level fault injection.
+//! * [`tmu_regulate`] — credit-based traffic regulation and
+//!   misbehaving-manager isolation (AXI-REALM-style QoS companion).
 //! * [`soc`] — the Cheshire-like system substrate (Fig. 10).
 //! * [`gf12_area`] — the calibrated GF12 area model (Figs. 7 & 8).
 //!
@@ -29,6 +31,7 @@ pub use gf12_area;
 pub use sim;
 pub use soc;
 pub use tmu;
+pub use tmu_regulate;
 
 /// Test-support utilities shared by the integration and property suites.
 pub mod testkit {

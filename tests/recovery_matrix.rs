@@ -149,6 +149,122 @@ fn localization_granularity_matches_variant() {
     }
 }
 
+/// The eleventh "fault class" is wire-legal greed: a manager that
+/// floods the interconnect with back-to-back bursts. The TMU cannot
+/// (and must not) flag it — every handshake is protocol-clean — so the
+/// traffic *regulator* is the detector: it must isolate the offender,
+/// log the policy fault on its embedded tracker, and leave both the
+/// trunk TMU and the victim manager untouched.
+#[test]
+fn budget_exhaustion_is_isolated_by_the_regulator_not_the_tmu() {
+    use axi_tmu::faults::BudgetExhaustion;
+    use axi_tmu::soc::regulated::RegulatedLink;
+    use axi_tmu::tmu::FaultKind;
+    use axi_tmu::tmu_regulate::{DirBudget, RegulationMode, RegulatorConfig, ISOLATION_REASON};
+
+    let victim = TrafficPattern {
+        write_ratio: 1.0,
+        burst_lens: vec![4],
+        ids: vec![0, 1],
+        addr_base: 0x8000_0000,
+        addr_span: 0x10_0000,
+        max_outstanding: 2,
+        issue_gap: 16,
+        total_txns: None,
+        verify_data: false,
+    };
+    let offender = TrafficPattern {
+        addr_base: 0x8010_0000,
+        ..victim.clone()
+    };
+    let tight = RegulatorConfig::builder()
+        .write_budget(DirBudget {
+            bytes_per_window: 256,
+            txns_per_window: 4,
+        })
+        .read_budget(DirBudget::unlimited())
+        .window_cycles(128)
+        .mode(RegulationMode::Isolate { overrun_windows: 2 })
+        .build()
+        .expect("tight isolating configuration is valid");
+    let mut link = RegulatedLink::new(
+        vec![(victim, None), (offender, Some(tight))],
+        Some(TmuConfig::default()),
+        MemSub::default(),
+        0xFA11,
+    );
+    // The offender starts compliant, then turns greedy mid-run.
+    link.arm_exhaustion(1, BudgetExhaustion::at_cycle(400));
+
+    // (a) detection — by the regulator, not the trunk TMU.
+    assert!(
+        link.run_until(50_000, |l| l.fabric().any_isolated()),
+        "the greedy manager must be isolated"
+    );
+    let reg = link
+        .regulator(1)
+        .expect("port 1 carries the isolating regulator");
+    assert_eq!(reg.isolations(), 1, "exactly one isolation event");
+    let fault = reg
+        .tracker()
+        .last_fault()
+        .expect("isolation logs a policy fault on the embedded tracker");
+    assert!(
+        matches!(fault.kind, FaultKind::External(reason) if reason == ISOLATION_REASON),
+        "the tracker must attribute the fault to the bandwidth policy"
+    );
+    assert_eq!(
+        link.tmu().expect("trunk TMU attached").faults_detected(),
+        0,
+        "wire-legal greed must never register as a protocol fault"
+    );
+
+    // (b) containment — the victim keeps completing transactions while
+    //     the offender stays severed.
+    let victim_at_isolation = link.stats(0).total_completed();
+    let offender_at_isolation = link.stats(1).total_completed();
+    assert!(
+        link.run_until(50_000, |l| {
+            l.stats(0).total_completed() >= victim_at_isolation + 20
+        }),
+        "the victim manager must keep flowing after the isolation"
+    );
+    assert_eq!(
+        link.stats(1).total_completed(),
+        offender_at_isolation,
+        "a severed manager completes nothing"
+    );
+    assert_eq!(
+        link.tmu().expect("trunk TMU attached").faults_detected(),
+        0,
+        "the trunk stays fault-free throughout"
+    );
+
+    // (c) recovery — software re-admission restores the offender once
+    //     the abort backlog has drained.
+    let mut released = false;
+    for _ in 0..5000 {
+        link.step();
+        if link.fabric_mut().release(1) {
+            released = true;
+            break;
+        }
+    }
+    assert!(released, "release must succeed once the aborts drained");
+    let grants_at_release = link
+        .regulator(1)
+        .expect("port 1 carries the isolating regulator")
+        .grants();
+    link.run(2000);
+    assert!(
+        link.regulator(1)
+            .expect("port 1 carries the isolating regulator")
+            .grants()
+            > grants_at_release,
+        "a re-admitted manager must be granted again"
+    );
+}
+
 /// Detection latency ordering: the Full-Counter never detects later than
 /// the Tiny-Counter for the same early-phase fault.
 #[test]
